@@ -1,0 +1,32 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables report examples clean all
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -q
+
+report:
+	$(PYTHON) -m repro.bench.report --out evaluation_report.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +
+
+all: install test bench

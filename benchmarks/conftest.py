@@ -1,0 +1,44 @@
+"""Shared fixtures and result plumbing for the benchmark suite.
+
+Every benchmark uses ``benchmark.pedantic(..., rounds=1)``: the measured
+kernels run 0.02–2 s, far above timer resolution, and the sweeps are wide
+(40 cells for Fig. 10 alone), so single rounds keep the suite minutes-scale
+while pytest-benchmark still records and tabulates everything.
+
+Module-level ``Sweep`` collectors accumulate the per-cell times so each
+experiment can additionally print the table in the *paper's* row/column
+layout (``-s`` to see them), which is what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import dataset_names, load_dataset
+
+
+def pytest_configure(config):
+    # benchmarks live outside the default testpaths; ensure bare
+    # `pytest benchmarks/` behaves.
+    pass
+
+
+@pytest.fixture(scope="session", params=dataset_names())
+def dataset(request):
+    """One Fig. 9 stand-in per param: (name, graph)."""
+    return request.param, load_dataset(request.param)
+
+
+@pytest.fixture(scope="session")
+def all_datasets():
+    """All five stand-ins, paper row order."""
+    return {name: load_dataset(name) for name in dataset_names()}
+
+
+def run_cell(benchmark, fn, **extra):
+    """Run ``fn`` once under pytest-benchmark and record its return value."""
+    value = benchmark.pedantic(fn, rounds=1, iterations=1)
+    benchmark.extra_info.update(extra)
+    if value is not None:
+        benchmark.extra_info["value"] = value
+    return value

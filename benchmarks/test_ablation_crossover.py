@@ -1,0 +1,70 @@
+"""Ablation A — where the smaller-side rule crosses over.
+
+Section V's central observation is that invariants 1–4 (column traversal)
+win when |V2| < |V1| and invariants 5–8 (row traversal) win otherwise.
+This sweep fixes |V1| + |V2| and |E| and slides the side ratio from 1:8 to
+8:1, timing one representative of each family (the forward suffix members,
+inv 2 and inv 6) under the spmv cost model.  The expected picture is two
+curves crossing at the 1:1 ratio — making the paper's selection rule a
+measured crossover rather than a rule of thumb.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.bench import Sweep, TimedResult
+from repro.core import count_butterflies_unblocked
+from repro.bench.registry import crossover_workloads
+
+WORKLOADS = None
+SWEEP = Sweep(title="ablA: side-ratio crossover (spmv), seconds")
+
+
+def _workloads():
+    global WORKLOADS
+    if WORKLOADS is None:
+        WORKLOADS = crossover_workloads(total_vertices=9000, n_edges=18000)
+    return WORKLOADS
+
+
+def _ratio_names():
+    return ["1:8", "1:4", "1:2", "1:1", "2:1", "4:1", "8:1"]
+
+
+@pytest.mark.parametrize("invariant", [2, 6])
+@pytest.mark.parametrize("ratio", _ratio_names())
+def test_crossover_cell(benchmark, ratio, invariant):
+    g = _workloads()[ratio]
+    value = run_cell(
+        benchmark,
+        lambda: count_butterflies_unblocked(g, invariant, strategy="spmv"),
+        experiment="ablA",
+        ratio=ratio,
+        invariant=invariant,
+    )
+    stats = benchmark.stats.stats if benchmark.stats else None
+    SWEEP.record(ratio, f"Inv. {invariant}", TimedResult(
+        label=f"{ratio}/inv{invariant}",
+        seconds=stats.min if stats else 0.0,
+        value=value,
+    ))
+
+
+def test_crossover_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(SWEEP.cells) == 14, "cell tests must run first"
+    print("\n" + SWEEP.render())
+    assert SWEEP.values_agree()
+    # at the extremes the winner is unambiguous
+    # 1:8 → |V1| ≪ |V2| → rows (inv 6) wins; 8:1 → columns (inv 2) wins
+    assert SWEEP.get("1:8", "Inv. 6").seconds < SWEEP.get("1:8", "Inv. 2").seconds
+    assert SWEEP.get("8:1", "Inv. 2").seconds < SWEEP.get("8:1", "Inv. 6").seconds
+    # and the advantage flips exactly once across the sweep (monotone ratio)
+    ratios = [
+        SWEEP.get(r, "Inv. 2").seconds / max(SWEEP.get(r, "Inv. 6").seconds, 1e-9)
+        for r in _ratio_names()
+    ]
+    # inv2/inv6 time ratio should broadly decrease as |V2| shrinks
+    assert ratios[0] > ratios[-1]

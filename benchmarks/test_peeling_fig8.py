@@ -1,0 +1,79 @@
+"""Experiment fig8 — k-tip / k-wing peeling benchmarks.
+
+The paper presents the k-tip look-ahead algorithm (Fig. 8) and the k-wing
+formulation (eqs. 25–27) without timing them; this bench times both
+implementations on planted-community workloads where the expected peel
+result is known by construction, establishing (a) the batch and look-ahead
+tip variants produce identical fixpoints at comparable cost, and (b) peel
+cost scales with the number of fixpoint rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.core import k_tip, k_tip_lookahead, k_wing
+from repro.graphs import planted_bicliques
+
+
+@pytest.fixture(scope="module")
+def peel_graph():
+    """8 planted K_{6,8} communities over background noise.
+
+    Each community left-vertex lies in 5·C(8,2) = 140 in-community
+    butterflies; each community edge in (6−1)(8−1)... = 35 of them.
+    """
+    return planted_bicliques(
+        400, 400, 8, 6, 8, background_edges=2500, seed=77
+    )
+
+
+@pytest.mark.parametrize("k", [1, 35, 140])
+def test_ktip_batch(benchmark, peel_graph, k):
+    res = run_cell(
+        benchmark,
+        lambda: k_tip(peel_graph, k, side="left"),
+        experiment="fig8",
+        variant="batch",
+        k=k,
+    )
+    if k <= 140:
+        # community vertices must survive
+        assert res.kept[: 8 * 6].all()
+
+
+@pytest.mark.parametrize("k", [1, 35, 140])
+def test_ktip_lookahead(benchmark, peel_graph, k):
+    res = run_cell(
+        benchmark,
+        lambda: k_tip_lookahead(peel_graph, k, side="left"),
+        experiment="fig8",
+        variant="lookahead",
+        k=k,
+    )
+    assert res.kept.tolist() == k_tip(peel_graph, k, side="left").kept.tolist()
+
+
+@pytest.mark.parametrize("k", [1, 10, 35])
+def test_kwing(benchmark, peel_graph, k):
+    res = run_cell(
+        benchmark,
+        lambda: k_wing(peel_graph, k),
+        experiment="fig8",
+        variant="wing",
+        k=k,
+    )
+    if k <= 35:
+        assert res.n_edges >= 8 * 6 * 8  # all community edges survive
+
+
+def test_ktip_deep_cascade(benchmark):
+    """A workload engineered to need many peel rounds: nested bicliques of
+    decreasing density, each removal round exposing the next layer."""
+    g = planted_bicliques(300, 300, 6, 5, 5, background_edges=3500, seed=5)
+    res = run_cell(
+        benchmark, lambda: k_tip(g, 25, side="left"), experiment="fig8",
+        variant="cascade",
+    )
+    assert res.rounds >= 2

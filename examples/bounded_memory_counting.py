@@ -1,0 +1,60 @@
+"""Counting under a memory budget (the Wang et al. 2014 substitution).
+
+The paper builds on Wang, Fu & Cheng (2014), whose contribution was
+counting rectangles on graphs *larger than memory*.  We have no disk
+hierarchy to exercise offline, so the repository substitutes a simulated
+budget: the partition-based counter processes partition pairs so that at
+most a budget-bounded working set of pair-accumulators is live at once,
+and reports the peak it actually used.
+
+This example sweeps the budget and shows the trade Wang et al. describe:
+smaller working sets cost more partition-pair passes over the data —
+the exact count never changes.
+
+Run:  python examples/bounded_memory_counting.py
+"""
+
+from repro import count_butterflies
+from repro.baselines import (
+    count_butterflies_wang_baseline,
+    count_butterflies_wang_partitioned,
+    count_butterflies_wang_space_efficient,
+)
+from repro.bench import time_callable
+from repro.graphs import power_law_bipartite
+
+
+def main() -> None:
+    g = power_law_bipartite(600, 800, 5000, seed=12)
+    exact = count_butterflies(g)
+    print(f"graph: {g}, butterflies: {exact}")
+
+    baseline = time_callable(lambda: count_butterflies_wang_baseline(g), repeats=1)
+    space = time_callable(
+        lambda: count_butterflies_wang_space_efficient(g), repeats=1
+    )
+    print(f"\nwang baseline (global pair accumulator): "
+          f"{baseline.seconds:.3f}s -> {baseline.value}")
+    print(f"wang space-efficient (O(|V1|) accumulator): "
+          f"{space.seconds:.3f}s -> {space.value}")
+    assert baseline.value == space.value == exact
+
+    print("\npartitioned counter under shrinking memory budgets:")
+    print(f"{'budget':>8} {'parts':>6} {'passes':>7} {'peak pairs':>11} "
+          f"{'seconds':>8}")
+    for budget in (600, 200, 100, 50, 25):
+        timed = time_callable(
+            lambda b=budget: count_butterflies_wang_partitioned(g, b),
+            repeats=1,
+        )
+        res = timed.value
+        assert res.butterflies == exact
+        print(f"{budget:8d} {res.n_partitions:6d} {res.partition_pairs:7d} "
+              f"{res.peak_working_set:11d} {timed.seconds:8.3f}")
+    print("\nthe count is identical throughout; shrinking the budget trades "
+          "\nre-reads of the graph (partition-pair passes) for working set —"
+          "\nthe I/O-vs-memory dial of the original out-of-core algorithm.")
+
+
+if __name__ == "__main__":
+    main()

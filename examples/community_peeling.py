@@ -1,0 +1,84 @@
+"""Dense-region discovery with k-tip / k-wing peeling (paper Section IV).
+
+Scenario: a synthetic collaboration network with planted dense communities
+(complete bicliques) hidden in background noise — the "finding dense
+regions" motivation of the paper's introduction.  We recover the planted
+communities with butterfly peeling and measure precision/recall, then show
+the full tip-number decomposition separating community members from noise.
+
+Run:  python examples/community_peeling.py
+"""
+
+import numpy as np
+
+from repro import k_tip, k_tip_lookahead, k_wing, tip_numbers
+from repro.core import edge_butterfly_support, vertex_butterfly_counts
+from repro.graphs import planted_bicliques
+from repro.metrics import local_clustering_left
+
+N_CLIQUES, CL, CR = 5, 5, 6  # five planted K_{5,6}
+N_LEFT = N_RIGHT = 200
+BACKGROUND = 900
+
+
+def precision_recall(found: np.ndarray, truth: np.ndarray) -> tuple[float, float]:
+    tp = int((found & truth).sum())
+    precision = tp / max(int(found.sum()), 1)
+    recall = tp / max(int(truth.sum()), 1)
+    return precision, recall
+
+
+def main() -> None:
+    g = planted_bicliques(
+        N_LEFT, N_RIGHT, N_CLIQUES, CL, CR, background_edges=BACKGROUND, seed=42
+    )
+    truth = np.zeros(N_LEFT, dtype=bool)
+    truth[: N_CLIQUES * CL] = True
+    print(f"graph: {g}  (planted {N_CLIQUES} x K_{{{CL},{CR}}})")
+
+    # inside one K_{5,6}, each left vertex is in (CL-1)·C(CR,2) butterflies
+    in_community = (CL - 1) * (CR * (CR - 1) // 2)
+    print(f"each planted left vertex sits in >= {in_community} butterflies")
+
+    counts = vertex_butterfly_counts(g, "left")
+    print(f"left-vertex butterfly counts: max={counts.max()}, "
+          f"median={int(np.median(counts))}")
+
+    # --- k-tip recovery ----------------------------------------------------
+    print("\nk-tip sweeps (left side):")
+    for k in (1, 10, in_community // 2, in_community):
+        tip = k_tip(g, k, side="left")
+        p, r = precision_recall(tip.kept, truth)
+        print(f"  k={k:4d}: kept {tip.n_kept:4d} vertices, "
+              f"precision={p:.2f} recall={r:.2f} ({tip.rounds} rounds)")
+        la = k_tip_lookahead(g, k, side="left")
+        assert np.array_equal(la.kept, tip.kept)
+
+    # --- k-wing recovery ---------------------------------------------------
+    # inside one K_{5,6}, each edge is in (CL-1)·(CR-1) butterflies
+    edge_support = (CL - 1) * (CR - 1)
+    print("\nk-wing sweeps:")
+    for k in (1, edge_support // 2, edge_support):
+        wing = k_wing(g, k)
+        print(f"  k={k:3d}: kept {wing.n_edges:5d} of {g.n_edges} edges "
+              f"({wing.rounds} rounds)")
+    wing = k_wing(g, edge_support)
+    support = edge_butterfly_support(wing.subgraph)
+    assert (support >= edge_support).all()
+
+    # --- decomposition view -------------------------------------------------
+    tn = tip_numbers(g, "left")
+    community_min = int(tn[truth].min())
+    noise_max = int(tn[~truth].max())
+    print(f"\ntip numbers: planted vertices >= {community_min}, "
+          f"background <= {noise_max}")
+    if community_min > noise_max:
+        print("tip numbers perfectly separate the planted communities ✔")
+
+    lc = local_clustering_left(g)
+    print(f"local clustering: planted mean={lc[truth].mean():.3f}, "
+          f"background mean={lc[~truth].mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Is a network's butterfly structure meaningful?  Compare against nulls.
+
+Scenario: you measured Ξ_G on an observed affiliation network and want to
+know whether that number reflects genuine community structure or is just
+what its degree sequence forces.  The standard answer is a null-model
+comparison: generate configuration-model graphs with the *same degree
+sequence*, count their butterflies, and report the observed count's
+z-score against the null distribution.
+
+Run:  python examples/null_model_comparison.py
+"""
+
+import numpy as np
+
+from repro import count_butterflies
+from repro.graphs import (
+    planted_bicliques,
+    power_law_bipartite,
+    rewire_edges,
+    two_two_core,
+)
+from repro.metrics import (
+    bipartite_clustering_coefficient,
+    butterfly_concentration,
+)
+
+N_NULLS = 25
+
+
+def analyse(name: str, g) -> None:
+    observed = count_butterflies(g)
+    nulls = []
+    for seed in range(N_NULLS):
+        # degree-preserving edge swaps: exact degrees AND edge count kept,
+        # so observed and null are strictly comparable
+        null = rewire_edges(g, seed=seed)
+        nulls.append(count_butterflies(null))
+    nulls = np.asarray(nulls, dtype=float)
+    mean, std = nulls.mean(), nulls.std(ddof=1)
+    z = (observed - mean) / std if std > 0 else float("inf")
+    cc = bipartite_clustering_coefficient(g, butterflies=observed)
+    conc = butterfly_concentration(g)
+    print(f"\n--- {name}: {g}")
+    print(f"observed butterflies : {observed}")
+    print(f"null (edge swaps)    : {mean:,.0f} ± {std:,.0f}  (n={N_NULLS})")
+    print(f"z-score              : {z:+.1f}")
+    print(f"clustering C4        : {cc:.4f}")
+    print(f"participation        : {conc.participation_rate:.0%} of left "
+          f"vertices, half the mass on {conc.half_mass_fraction:.0%}")
+    verdict = "structure beyond degrees" if abs(z) > 3 else "degree-explained"
+    print(f"verdict              : {verdict}")
+
+
+def main() -> None:
+    # a genuinely community-structured graph: planted bicliques
+    communities = planted_bicliques(
+        150, 150, 6, 5, 6, background_edges=700, seed=17
+    )
+    analyse("planted communities", communities)
+
+    # a degree-skewed but otherwise structureless graph: the rewired
+    # version of a heavy-tailed graph is itself a null draw, so only
+    # degree-forced butterflies remain (expected verdict: degree-explained)
+    template = power_law_bipartite(150, 200, 1100, gamma_left=2.1, seed=18)
+    structureless = rewire_edges(template, seed=999)
+    analyse("degree-matched structureless", structureless)
+
+    # the same analysis after stripping the butterfly-free fringe
+    core = two_two_core(communities).graph
+    analyse("planted communities, (2,2)-core", core)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Butterfly structure as a co-engagement signal for recommendations.
+
+Scenario: a user–item interaction graph.  Classic item-item collaborative
+filtering scores item pairs by co-engagement (shared users = wedges); the
+butterfly count of a pair — C(shared users, 2) — additionally rewards
+*multiple independent* co-engagements, and the top butterfly pairs are
+exactly the strongest co-consumption cells.  This example builds the
+signals with the projection and enumeration APIs and peels out the
+item core a recommender would treat as its dense catalogue backbone.
+
+Run:  python examples/recommendation_signals.py
+"""
+
+import numpy as np
+
+from repro import count_butterflies, k_tip
+from repro.core import top_butterfly_pairs, vertex_butterfly_counts
+from repro.graphs import planted_bicliques, project
+from repro.metrics import butterfly_concentration
+
+N_USERS, N_ITEMS = 250, 180
+
+
+def main() -> None:
+    # interactions with 4 planted "taste clusters" (users × the items
+    # their cluster co-consumes) over organic background activity
+    g = planted_bicliques(
+        N_USERS, N_ITEMS, 4, 9, 7, background_edges=1500, seed=99
+    )
+    print(f"interaction graph: {g}")
+    print(f"total butterflies: {count_butterflies(g)}")
+
+    # --- item-item signals ------------------------------------------------
+    # wedge weight = number of shared users; the classic CF co-occurrence
+    co = project(g, side="right", min_weight=2)
+    print(f"\nitem pairs with >= 2 shared users: {len(co)}")
+
+    # butterfly weight promotes pairs with *many* shared users
+    top = top_butterfly_pairs(g, 8, side="right")
+    print("top co-consumption item pairs (by butterflies closed):")
+    for (i, j), b in top:
+        shared = co.get((i, j), 0)
+        print(f"  items ({i:3d}, {j:3d}): {shared:2d} shared users, "
+              f"{b:3d} butterflies")
+    # the planted clusters own the top pairs: cluster items are 0..27
+    assert all(i < 4 * 7 and j < 4 * 7 for (i, j), _ in top)
+
+    # --- item importance ---------------------------------------------------
+    item_scores = vertex_butterfly_counts(g, "right")
+    ranked = np.argsort(item_scores)[::-1][:10]
+    print("\nmost embedded items:", ranked.tolist())
+    conc = butterfly_concentration(g, "right")
+    print(f"half of all co-engagement mass sits on "
+          f"{conc.half_mass_fraction:.0%} of the items")
+
+    # --- the catalogue backbone ---------------------------------------------
+    # items that survive deep tip peeling are the densely co-consumed core
+    core = k_tip(g, k=100, side="right")
+    kept = np.nonzero(core.kept)[0]
+    print(f"\n100-tip item core: {core.n_kept} items -> {kept.tolist()[:15]}...")
+    planted_items = set(range(4 * 7))
+    recovered = planted_items & set(kept.tolist())
+    print(f"planted cluster items recovered in the core: "
+          f"{len(recovered)}/{len(planted_items)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Streaming butterfly maintenance with the dynamic counter.
+
+Scenario: an online marketplace observes a stream of (user, product)
+interaction events — additions as users engage, deletions as interactions
+expire out of a sliding window.  The butterfly count is a standard proxy
+for community structure in such streams; recounting per event is wasteful,
+so we maintain it incrementally and compare against periodic recounts.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BipartiteGraph, DynamicButterflyCounter, count_butterflies
+from repro.graphs import power_law_bipartite
+
+N_USERS, N_PRODUCTS = 400, 600
+WINDOW = 2500  # sliding-window capacity (events)
+STREAM_LEN = 6000
+
+
+def main() -> None:
+    rng = np.random.default_rng(365)
+    # the event stream: edges drawn from a heavy-tailed interaction model,
+    # with duplicates (re-engagements) naturally occurring
+    base = power_law_bipartite(N_USERS, N_PRODUCTS, STREAM_LEN, seed=11)
+    pool = [tuple(map(int, e)) for e in base.edges()]
+    stream = [pool[rng.integers(len(pool))] for _ in range(STREAM_LEN)]
+
+    counter = DynamicButterflyCounter(BipartiteGraph.empty(N_USERS, N_PRODUCTS))
+    window: list[tuple[int, int]] = []
+    recount_time = 0.0
+    incremental_time = 0.0
+    checkpoints = []
+
+    t_all = time.perf_counter()
+    for step, (u, v) in enumerate(stream, 1):
+        t0 = time.perf_counter()
+        if not counter.has_edge(u, v):
+            counter.add_edge(u, v)
+            window.append((u, v))
+        if len(window) > WINDOW:
+            old = window.pop(0)
+            if counter.has_edge(*old):
+                counter.remove_edge(*old)
+        incremental_time += time.perf_counter() - t0
+
+        if step % 1500 == 0:
+            t0 = time.perf_counter()
+            snapshot = counter.to_graph()
+            recount = count_butterflies(snapshot)
+            recount_time += time.perf_counter() - t0
+            assert recount == counter.count, "incremental count diverged!"
+            checkpoints.append((step, counter.count, counter.n_edges))
+    total = time.perf_counter() - t_all
+
+    print(f"processed {STREAM_LEN} events over a {WINDOW}-event window "
+          f"in {total:.2f}s")
+    print(f"  incremental maintenance: {incremental_time:.3f}s total "
+          f"({1e6 * incremental_time / STREAM_LEN:.1f} µs/event)")
+    print(f"  4 verification recounts: {recount_time:.3f}s "
+          f"(each one costs more than the whole stream's upkeep)"
+          if recount_time > incremental_time / 4 else "")
+    print("\ncheckpoint  edges  butterflies")
+    for step, count, edges in checkpoints:
+        print(f"{step:10d}  {edges:5d}  {count:11d}")
+
+    # whose neighbourhood is butterfly-densest right now?
+    per_user = [counter.vertex_count(u, "left") for u in range(N_USERS)]
+    top = int(np.argmax(per_user))
+    print(f"\nmost embedded user: {top} ({per_user[top]} butterflies)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses pyproject.toml on modern toolchains; this file
+exists so that fully offline environments lacking the ``wheel`` package can
+still do an editable install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

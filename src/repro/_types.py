@@ -1,0 +1,58 @@
+"""Shared dtype and typing conventions for the :mod:`repro` package.
+
+The whole library operates on *pattern* (0/1) sparse matrices stored as
+compressed index arrays, so the only dtypes that matter are:
+
+``INDEX_DTYPE``
+    The dtype used for ``indptr``/``indices`` arrays of compressed sparse
+    structures.  ``int64`` everywhere: graphs in this library are far too
+    small for the memory savings of ``int32`` to matter, and a single wide
+    dtype removes an entire class of silent-overflow and mixed-dtype bugs.
+
+``COUNT_DTYPE``
+    The dtype used for wedge/butterfly accumulators.  Butterfly counts grow
+    like the square of wedge counts, so accumulation is always performed in
+    ``int64`` and surfaced to callers as built-in Python ``int`` (which is
+    arbitrary precision) at API boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype of all ``indptr`` / ``indices`` arrays.
+INDEX_DTYPE = np.int64
+
+#: dtype of all wedge / butterfly accumulators.
+COUNT_DTYPE = np.int64
+
+#: numpy array aliases used in annotations throughout the package.
+IndexArray = np.ndarray
+CountArray = np.ndarray
+BoolArray = np.ndarray
+
+
+def as_index_array(values, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 1-D contiguous :data:`INDEX_DTYPE` array.
+
+    Parameters
+    ----------
+    values:
+        Anything ``np.asarray`` accepts.
+    copy:
+        Force a copy even when ``values`` already has the right dtype.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``int64`` array.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is not 1-dimensional.
+    """
+    arr = np.array(values, dtype=INDEX_DTYPE, copy=copy or None)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D index array, got shape {arr.shape!r}")
+    return np.ascontiguousarray(arr)

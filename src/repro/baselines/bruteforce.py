@@ -1,0 +1,94 @@
+"""Brute-force butterfly counters, independent of the NumPy substrate.
+
+These are the slowest and most trustworthy oracles in the repository: pure
+Python sets and loops (optionally routed through networkx adjacency), with
+no shared code with the algorithms under test.  Used on small graphs in the
+unit and property tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "count_butterflies_bruteforce",
+    "count_butterflies_networkx",
+    "enumerate_butterflies",
+    "vertex_counts_bruteforce",
+    "edge_support_bruteforce",
+]
+
+
+def _left_adjacency(graph: BipartiteGraph) -> list[set[int]]:
+    return [set(map(int, graph.neighbors_left(u))) for u in range(graph.n_left)]
+
+
+def count_butterflies_bruteforce(graph: BipartiteGraph) -> int:
+    """Ξ_G by direct definition: Σ over left pairs of C(common neighbours, 2)."""
+    adj = _left_adjacency(graph)
+    total = 0
+    for u, w in combinations(range(graph.n_left), 2):
+        c = len(adj[u] & adj[w])
+        total += c * (c - 1) // 2
+    return total
+
+
+def count_butterflies_networkx(graph: BipartiteGraph) -> int:
+    """Ξ_G through a networkx graph — an import-level independent oracle.
+
+    Builds the union graph in networkx (left ids 0..m-1, right ids offset
+    by m) and counts common-neighbour pairs through networkx's adjacency,
+    so a systematic error in our edge bookkeeping would be caught here.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    m = graph.n_left
+    g.add_nodes_from(range(m + graph.n_right))
+    g.add_edges_from((int(u), m + int(v)) for u, v in graph.edges())
+    total = 0
+    for u, w in combinations(range(m), 2):
+        c = len(list(nx.common_neighbors(g, u, w)))
+        total += c * (c - 1) // 2
+    return total
+
+
+def enumerate_butterflies(graph: BipartiteGraph):
+    """Yield every butterfly as a tuple (u, w, v, y): u < w in V1, v < y in V2.
+
+    Exponential-ish on dense graphs; meant for tiny test fixtures where the
+    explicit list is asserted against counts, per-vertex counts, and
+    per-edge supports.
+    """
+    adj = _left_adjacency(graph)
+    for u, w in combinations(range(graph.n_left), 2):
+        common = sorted(adj[u] & adj[w])
+        for v, y in combinations(common, 2):
+            yield (u, w, v, y)
+
+
+def vertex_counts_bruteforce(graph: BipartiteGraph, side: str = "left") -> list[int]:
+    """Per-vertex butterfly participation via full enumeration."""
+    n = graph.n_left if side == "left" else graph.n_right
+    counts = [0] * n
+    for u, w, v, y in enumerate_butterflies(graph):
+        if side == "left":
+            counts[u] += 1
+            counts[w] += 1
+        else:
+            counts[v] += 1
+            counts[y] += 1
+    return counts
+
+
+def edge_support_bruteforce(graph: BipartiteGraph) -> dict[tuple[int, int], int]:
+    """Per-edge butterfly support via full enumeration."""
+    support: dict[tuple[int, int], int] = {
+        (int(u), int(v)): 0 for u, v in graph.edges()
+    }
+    for u, w, v, y in enumerate_butterflies(graph):
+        for e in ((u, v), (u, y), (w, v), (w, y)):
+            support[e] += 1
+    return support

@@ -1,0 +1,98 @@
+"""Sparsification-based approximate counting (ESpar / CSpar of ref [10]).
+
+Sanei-Mehri et al.'s second family of estimators subsamples the *graph*
+rather than sampling substructures:
+
+- **Bernoulli edge sparsification (ESpar)**: keep each edge independently
+  with probability p, count butterflies exactly on the sparsified graph,
+  scale by 1/p⁴ (a butterfly survives iff all 4 edges survive).
+- **Colorful sparsification (CSpar)**: colour every vertex uniformly from
+  N colours, keep an edge iff its endpoints share a colour (p = 1/N).
+  A butterfly survives iff all four vertices share one colour, which
+  happens with probability p³ — so the scale factor is N³ and, because
+  edge survivals are positively correlated inside a monochromatic
+  butterfly, the estimator has lower variance per retained edge than
+  ESpar at equal p.
+
+Both are unbiased; tests validate exactness in expectation over many seeds
+and the p=1 degenerate case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.sampling import SampleEstimate
+from repro.core.family import count_butterflies
+from repro.graphs.bipartite import BipartiteGraph
+from repro.sparsela import PatternCOO
+
+__all__ = [
+    "sparsify_bernoulli",
+    "sparsify_colorful",
+    "estimate_butterflies_espar",
+    "estimate_butterflies_cspar",
+]
+
+
+def sparsify_bernoulli(graph: BipartiteGraph, p: float, seed=0) -> BipartiteGraph:
+    """Keep each edge independently with probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(graph.n_edges) < p
+    coo = graph.coo
+    return BipartiteGraph(
+        PatternCOO(coo.rows[keep], coo.cols[keep], coo.shape)
+    )
+
+
+def sparsify_colorful(
+    graph: BipartiteGraph, n_colors: int, seed=0
+) -> BipartiteGraph:
+    """Keep edges whose endpoints drew the same of ``n_colors`` colours."""
+    if n_colors < 1:
+        raise ValueError(f"n_colors must be >= 1, got {n_colors}")
+    rng = np.random.default_rng(seed)
+    color_left = rng.integers(0, n_colors, size=graph.n_left)
+    color_right = rng.integers(0, n_colors, size=graph.n_right)
+    coo = graph.coo
+    keep = color_left[coo.rows] == color_right[coo.cols]
+    return BipartiteGraph(
+        PatternCOO(coo.rows[keep], coo.cols[keep], coo.shape)
+    )
+
+
+def estimate_butterflies_espar(
+    graph: BipartiteGraph, p: float, seed=0
+) -> SampleEstimate:
+    """Unbiased Ξ_G estimate via Bernoulli edge sparsification.
+
+    E[count(sparsified)] = p⁴·Ξ_G, so the estimator is count / p⁴.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    sub = sparsify_bernoulli(graph, p, seed)
+    raw = count_butterflies(sub) if sub.n_edges else 0
+    return SampleEstimate(
+        estimate=raw / p**4, n_samples=sub.n_edges, method="espar"
+    )
+
+
+def estimate_butterflies_cspar(
+    graph: BipartiteGraph, n_colors: int, seed=0
+) -> SampleEstimate:
+    """Unbiased Ξ_G estimate via colorful sparsification.
+
+    A butterfly is monochromatic with probability (1/N)³ (first vertex
+    free, the other three must match), so the estimator is count · N³.
+    """
+    if n_colors < 1:
+        raise ValueError(f"n_colors must be >= 1, got {n_colors}")
+    sub = sparsify_colorful(graph, n_colors, seed)
+    raw = count_butterflies(sub) if sub.n_edges else 0
+    return SampleEstimate(
+        estimate=float(raw) * n_colors**3,
+        n_samples=sub.n_edges,
+        method="cspar",
+    )

@@ -1,0 +1,103 @@
+"""Timing harness used by the ``benchmarks/`` suite.
+
+pytest-benchmark drives the statistically careful per-case timings; this
+module provides the *sweep* layer above it — running a grid of (dataset ×
+invariant × executor) cells, collecting one median time per cell, and
+rendering the paper-shaped tables.  Keeping it in the library (rather than
+in conftest helpers) lets the examples and the CLI run the same sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.tables import format_seconds, format_table
+
+__all__ = ["TimedResult", "time_callable", "Sweep"]
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """Outcome of timing one cell of a sweep."""
+
+    label: str
+    seconds: float
+    value: object
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 3, label: str = ""
+) -> TimedResult:
+    """Best-of-``repeats`` wall time of ``fn`` plus its (last) return value.
+
+    Best-of is the right statistic for single-process CPU-bound kernels:
+    external interference only ever adds time.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    value: object = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return TimedResult(label=label, seconds=best, value=value)
+
+
+@dataclass
+class Sweep:
+    """A grid of timed cells with paper-style table rendering.
+
+    Rows are labelled by dataset (or sweep parameter), columns by algorithm
+    variant; cells hold :class:`TimedResult`.  The fig10/fig11 benchmarks
+    assemble one of these and print it so the output lines up visually with
+    the paper's tables.
+    """
+
+    title: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[str] = field(default_factory=list)
+    cells: dict = field(default_factory=dict)
+
+    def record(self, row: str, column: str, result: TimedResult) -> None:
+        """Store one cell (creating the row/column on first sight)."""
+        if row not in self.rows:
+            self.rows.append(row)
+        if column not in self.columns:
+            self.columns.append(column)
+        self.cells[(row, column)] = result
+
+    def get(self, row: str, column: str) -> TimedResult | None:
+        """Retrieve a cell (None when never recorded)."""
+        return self.cells.get((row, column))
+
+    def values_agree(self) -> bool:
+        """True when every recorded cell produced the same value per row.
+
+        The counting sweeps use this as the exactness assertion: all
+        family members and executors must report identical Ξ_G per
+        dataset.
+        """
+        for row in self.rows:
+            vals = {
+                self.cells[(row, c)].value
+                for c in self.columns
+                if (row, c) in self.cells
+            }
+            if len(vals) > 1:
+                return False
+        return True
+
+    def render(self) -> str:
+        """Monospace table of the recorded times."""
+        header = ["Dataset"] + list(self.columns)
+        body = []
+        for row in self.rows:
+            line = [row]
+            for col in self.columns:
+                res = self.cells.get((row, col))
+                line.append(format_seconds(res.seconds) if res else "-")
+            body.append(line)
+        return format_table(header, body, title=self.title)

@@ -1,0 +1,57 @@
+"""Workload registry shared by the benchmarks, examples, and CLI.
+
+Centralises (a) the Fig. 9 dataset stand-ins, (b) the synthetic sweeps for
+the ablation experiments, so every entry point names workloads the same
+way and seeds stay fixed in exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.datasets import DATASETS, load_dataset
+from repro.graphs.generators import gnm_bipartite, power_law_bipartite
+
+__all__ = [
+    "fig9_workloads",
+    "crossover_workloads",
+    "sparsity_workloads",
+]
+
+
+def fig9_workloads() -> dict[str, BipartiteGraph]:
+    """The five Fig. 9 stand-ins, in paper row order."""
+    return {name: load_dataset(name) for name in DATASETS}
+
+
+def crossover_workloads(
+    total_vertices: int = 12000, n_edges: int = 24000, seed: int = 7
+) -> dict[str, BipartiteGraph]:
+    """Side-ratio sweep at fixed |V1|+|V2| and |E| (ablation A).
+
+    Ratios span 1:8 through 8:1; the expected result is the column-family
+    (invariants 1–4) and row-family (5–8) crossing over as the smaller
+    side flips, the Section V selection rule made visible.
+    """
+    ratios = [(1, 8), (1, 4), (1, 2), (1, 1), (2, 1), (4, 1), (8, 1)]
+    out: dict[str, BipartiteGraph] = {}
+    for i, (a, b) in enumerate(ratios):
+        m = total_vertices * a // (a + b)
+        n = total_vertices - m
+        out[f"{a}:{b}"] = power_law_bipartite(
+            m, n, n_edges, gamma_left=2.3, gamma_right=2.3, seed=seed + i
+        )
+    return out
+
+
+def sparsity_workloads(
+    n_left: int = 4000, n_right: int = 8000, seed: int = 11
+) -> dict[str, BipartiteGraph]:
+    """Edge-density sweep at fixed vertex counts (ablation B).
+
+    Mirrors the paper's GitHub-vs-Producers comparison: same partition
+    sizes, edge count doubling each step.
+    """
+    out: dict[str, BipartiteGraph] = {}
+    for i, edges in enumerate([5000, 10000, 20000, 40000]):
+        out[f"|E|={edges}"] = gnm_bipartite(n_left, n_right, edges, seed=seed + i)
+    return out

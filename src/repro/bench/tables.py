@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports its evaluation as three tables (Figs. 9–11).  The
+benchmark scripts re-emit the same row/column layout so paper-vs-measured
+comparison is a visual diff; this module owns the formatting so every
+bench prints consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_seconds"]
+
+
+def format_seconds(t: float) -> str:
+    """Fixed-width rendering of a duration in seconds (paper style)."""
+    if t >= 100:
+        return f"{t:8.1f}"
+    if t >= 1:
+        return f"{t:8.3f}"
+    return f"{t:8.4f}"
+
+
+def _widths(header: Sequence[str], rows: Sequence[Sequence[str]]) -> list[int]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    return widths
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Monospace table with a rule under the header.
+
+    Cells are stringified as-is; numeric alignment is the caller's job
+    (use :func:`format_seconds` for timings).
+    """
+    srows = [[str(c) for c in row] for row in rows]
+    widths = _widths(header, srows)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    header: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """GitHub-flavoured markdown table (used when writing EXPERIMENTS.md)."""
+    srows = [[str(c) for c in row] for row in rows]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in srows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+::
+
+    repro-butterfly info       GRAPH [--json]   # structural statistics
+    repro-butterfly count      GRAPH [options]  # exact butterfly count
+    repro-butterfly peel       GRAPH --k K [--mode tip|wing] [--side left|right]
+    repro-butterfly decompose  GRAPH [--mode tip|wing] [--top N]
+    repro-butterfly bench      [--dataset NAME] # fig10-style sweep on a stand-in
+    repro-butterfly algorithms [--executor E] [--run GRAPH]  # the registry
+    repro-butterfly generate   OUT --n-left M --n-right N --edges E
+
+GRAPH is either a path to a KONECT-format edge list (optionally ``.gz``;
+see :mod:`repro.graphs.io`) or ``dataset:<name>`` for one of the synthetic
+Fig. 9 stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import Sweep, time_callable
+from repro.core import (
+    ALL_INVARIANTS,
+    count_butterflies,
+    count_butterflies_unblocked,
+    k_tip,
+    k_wing,
+)
+from repro.graphs import (
+    BipartiteGraph,
+    dataset_names,
+    graph_stats,
+    load_dataset,
+    load_konect,
+)
+from repro.metrics import bipartite_clustering_coefficient
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(spec: str) -> BipartiteGraph:
+    if spec.startswith("dataset:"):
+        return load_dataset(spec.split(":", 1)[1])
+    return load_konect(spec)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for the CLI tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro-butterfly",
+        description="Butterfly counting and peeling for bipartite graphs "
+        "(linear-algebra algorithm family).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print structural statistics")
+    p_info.add_argument("graph", help="KONECT file path or dataset:<name>")
+    p_info.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_count = sub.add_parser("count", help="exact butterfly count")
+    p_count.add_argument("graph")
+    p_count.add_argument("--json", action="store_true", help="machine-readable output")
+    p_count.add_argument(
+        "--invariant",
+        type=int,
+        choices=range(1, 9),
+        default=None,
+        help="family member 1-8 (default: auto-select by smaller side)",
+    )
+    p_count.add_argument(
+        "--strategy", choices=("adjacency", "scratch", "spmv"), default="adjacency"
+    )
+
+    p_peel = sub.add_parser("peel", help="k-tip / k-wing subgraph extraction")
+    p_peel.add_argument("graph")
+    p_peel.add_argument("--k", type=int, required=True)
+    p_peel.add_argument("--mode", choices=("tip", "wing"), default="tip")
+    p_peel.add_argument("--side", choices=("left", "right"), default="left")
+
+    p_bench = sub.add_parser("bench", help="time all 8 invariants on a dataset")
+    p_bench.add_argument(
+        "--dataset", choices=dataset_names(), default="arxiv"
+    )
+    p_bench.add_argument(
+        "--strategy", choices=("adjacency", "scratch", "spmv"), default="adjacency"
+    )
+
+    p_dec = sub.add_parser(
+        "decompose", help="tip-number or wing-number decomposition"
+    )
+    p_dec.add_argument("graph")
+    p_dec.add_argument("--mode", choices=("tip", "wing"), default="tip")
+    p_dec.add_argument("--side", choices=("left", "right"), default="left")
+    p_dec.add_argument(
+        "--top", type=int, default=10, help="show the N highest-numbered items"
+    )
+
+    p_gen = sub.add_parser(
+        "generate", help="write a synthetic bipartite graph in KONECT format"
+    )
+    p_gen.add_argument("output", help="output file path")
+    p_gen.add_argument("--n-left", type=int, required=True)
+    p_gen.add_argument("--n-right", type=int, required=True)
+    p_gen.add_argument("--edges", type=int, required=True)
+    p_gen.add_argument(
+        "--model", choices=("powerlaw", "uniform"), default="powerlaw"
+    )
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_alg = sub.add_parser(
+        "algorithms", help="list the registered algorithm family"
+    )
+    p_alg.add_argument("--executor", default=None,
+                       choices=("unblocked", "blocked", "parallel"))
+    p_alg.add_argument("--run", default=None, metavar="GRAPH",
+                       help="also run every listed member on this graph "
+                       "and assert agreement")
+    return p
+
+
+def _cmd_info(args) -> int:
+    g = _load(args.graph)
+    stats = graph_stats(g)
+    count = count_butterflies(g)
+    cc = bipartite_clustering_coefficient(g, butterflies=count)
+    if args.json:
+        import json
+
+        payload = dict(stats.as_dict())
+        payload["butterflies"] = count
+        payload["clustering_c4"] = cc
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"graph        : {g!r}")
+    for key, value in stats.as_dict().items():
+        print(f"{key:24s}: {value}")
+    print(f"{'butterflies':24s}: {count}")
+    print(f"{'clustering (C4)':24s}: {cc:.6f}")
+    return 0
+
+
+def _cmd_count(args) -> int:
+    g = _load(args.graph)
+    if args.invariant is None:
+        result = count_butterflies(g, strategy=args.strategy)
+        chosen = 2 if g.n_right <= g.n_left else 6
+        invariant_desc = f"auto (chose {chosen})"
+    else:
+        result = count_butterflies_unblocked(
+            g, args.invariant, strategy=args.strategy
+        )
+        invariant_desc = str(args.invariant)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "invariant": invariant_desc,
+            "strategy": args.strategy,
+            "butterflies": result,
+        }))
+        return 0
+    print(f"invariant  : {invariant_desc}")
+    print(f"strategy   : {args.strategy}")
+    print(f"butterflies: {result}")
+    return 0
+
+
+def _cmd_peel(args) -> int:
+    g = _load(args.graph)
+    if args.mode == "tip":
+        res = k_tip(g, args.k, side=args.side)
+        print(f"{args.k}-tip ({args.side} side): kept {res.n_kept} vertices, "
+              f"{res.subgraph.n_edges} edges, {res.rounds} rounds")
+    else:
+        res = k_wing(g, args.k)
+        print(f"{args.k}-wing: kept {res.n_edges} edges, {res.rounds} rounds")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    g = load_dataset(args.dataset)
+    sweep = Sweep(title=f"dataset {args.dataset}, strategy {args.strategy}")
+    for inv in ALL_INVARIANTS:
+        result = time_callable(
+            lambda inv=inv: count_butterflies_unblocked(
+                g, inv, strategy=args.strategy
+            ),
+            repeats=1,
+            label=f"inv{inv.number}",
+        )
+        sweep.record(args.dataset, f"Inv. {inv.number}", result)
+    print(sweep.render())
+    if not sweep.values_agree():
+        print("ERROR: family members disagree!", file=sys.stderr)
+        return 1
+    first = sweep.get(args.dataset, "Inv. 1")
+    print(f"butterflies: {first.value}")
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    g = _load(args.graph)
+    if args.mode == "tip":
+        from repro.core import tip_numbers_bucket
+
+        numbers = tip_numbers_bucket(g, side=args.side)
+        order = numbers.argsort()[::-1][: args.top]
+        print(f"tip numbers ({args.side} side), top {args.top}:")
+        for v in order:
+            print(f"  vertex {int(v):6d}: {int(numbers[v])}")
+        print(f"max tip number: {int(numbers.max()) if numbers.size else 0}")
+    else:
+        from repro.core import wing_numbers
+
+        wn = wing_numbers(g)
+        ranked = sorted(wn.items(), key=lambda kv: -kv[1])[: args.top]
+        print(f"wing numbers, top {args.top}:")
+        for (u, v), w in ranked:
+            print(f"  edge ({u}, {v}): {w}")
+        print(f"max wing number: {max(wn.values()) if wn else 0}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graphs import gnm_bipartite, power_law_bipartite, save_konect
+
+    if args.model == "powerlaw":
+        g = power_law_bipartite(
+            args.n_left, args.n_right, args.edges, seed=args.seed
+        )
+    else:
+        g = gnm_bipartite(args.n_left, args.n_right, args.edges, seed=args.seed)
+    save_konect(g, args.output)
+    print(f"wrote {g!r} to {args.output}")
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    from repro.core import all_algorithms
+
+    members = all_algorithms(executor=args.executor)
+    graph = _load(args.run) if args.run else None
+    results = set()
+    for spec in members:
+        line = f"{spec.name:30s} {spec.invariant.description}"
+        if graph is not None:
+            value = spec(graph)
+            results.add(value)
+            line += f"  -> {value}"
+        print(line)
+    print(f"{len(members)} members")
+    if graph is not None:
+        if len(results) != 1:
+            print("ERROR: members disagree!", file=sys.stderr)
+            return 1
+        print(f"all agree: {results.pop()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (installed as ``repro-butterfly``)."""
+    args = build_parser().parse_args(argv)
+    return {
+        "info": _cmd_info,
+        "count": _cmd_count,
+        "peel": _cmd_peel,
+        "bench": _cmd_bench,
+        "decompose": _cmd_decompose,
+        "generate": _cmd_generate,
+        "algorithms": _cmd_algorithms,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Blocked variants of the counting family.
+
+The FLAME methodology yields blocked algorithms from the same loop
+invariants by letting the exposed partition ``a₁`` be a *panel* of ``b``
+columns (or rows) instead of a single vector.  The paper presents the
+unblocked family; the blocked family is the standard next derivation step
+(its Fig. 10 caption explicitly labels the measured algorithms "unblocked"),
+and it is where the NumPy implementation gains real ground: one panel
+iteration performs a handful of whole-array operations over all wedges of
+``b`` pivots, amortising the per-iteration interpreter overhead that
+dominates the unblocked loop.
+
+Correctness argument, mirroring the unblocked suffix update: assign every
+wedge-point pair {u, v} with u < v to pivot u.  A panel [lo, hi) counts
+
+- pairs with u ∈ panel and v > u, which includes pairs internal to the
+  panel (u, v both in [lo, hi), v > u) and pairs crossing into the suffix —
+
+so summing over consecutive panels counts each pair exactly once, and the
+per-pair contribution C(wedges(u,v), 2) is computed from the full wedge
+multiset exactly as in the unblocked algorithm.  The prefix (look-behind)
+blocked member is symmetric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.family import (
+    Invariant,
+    Reference,
+    Side,
+    Traversal,
+    _matrices_for_side,
+    _resolve_invariant,
+)
+from repro.graphs.bipartite import BipartiteGraph
+from repro.sparsela import gather_slices
+from repro.sparsela._compressed import CompressedPattern
+
+__all__ = ["count_butterflies_blocked", "panel_butterflies"]
+
+
+def panel_butterflies(
+    pivot_major: CompressedPattern,
+    complementary: CompressedPattern,
+    lo: int,
+    hi: int,
+    reference: Reference,
+) -> int:
+    """Butterfly contribution of the pivot panel ``[lo, hi)``.
+
+    For each pivot p in the panel, counts wedge-point pairs {p, u} with
+    ``u > p`` (suffix reference) or ``u < p`` (prefix reference), where u
+    ranges over the whole matrix — panel-internal pairs are included via
+    the positional predicate, so consecutive panels tile Ξ_G exactly.
+
+    Implementation: one :func:`gather_slices` fetches the wedge endpoints
+    of *all* pivots in the panel; endpoints are keyed by
+    ``pivot_local * n + endpoint`` so a single ``np.unique`` produces every
+    per-pair wedge count in the panel at once.
+    """
+    if hi <= lo:
+        return 0
+    indptr = pivot_major.indptr
+    pivots = np.arange(lo, hi, dtype=np.int64)
+    # neighbourhood sizes per pivot
+    deg = indptr[pivots + 1] - indptr[pivots]
+    if deg.sum() == 0:
+        return 0
+    # all (pivot, other-side neighbor) incidences of the panel
+    neighbors = pivot_major.indices[indptr[lo] : indptr[hi]]
+    owner_pivot = np.repeat(pivots, deg)
+    # continue every incidence to same-side wedge endpoints
+    comp_deg = complementary.indptr[neighbors + 1] - complementary.indptr[neighbors]
+    endpoints = gather_slices(complementary.indptr, complementary.indices, neighbors)
+    owners = np.repeat(owner_pivot, comp_deg)
+    if reference is Reference.SUFFIX:
+        sel = endpoints > owners
+    else:
+        sel = endpoints < owners
+    if not sel.any():
+        return 0
+    n = pivot_major.major_dim
+    keys = (owners[sel] - lo) * np.int64(n) + endpoints[sel]
+    _, counts = np.unique(keys, return_counts=True)
+    counts = counts.astype(np.int64)
+    return int(np.sum(counts * (counts - 1)) // 2)
+
+
+def count_butterflies_blocked(
+    graph: BipartiteGraph,
+    invariant=2,
+    block_size: int = 64,
+) -> int:
+    """Count butterflies with the blocked member of the chosen invariant.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    invariant:
+        Paper invariant number (1–8) or :class:`Invariant`; determines the
+        traversed side, sweep direction and reference partition exactly as
+        in the unblocked family.
+    block_size:
+        Panel width b ≥ 1.  ``b = 1`` degenerates to the unblocked
+        algorithm (used by the equivalence tests); larger panels trade a
+        transient ``O(panel wedges)`` working set for fewer iterations.
+
+    Returns
+    -------
+    int
+        Ξ_G, the exact number of butterflies.
+    """
+    inv: Invariant = _resolve_invariant(invariant)
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    pivot_major, complementary = _matrices_for_side(graph, inv.side)
+    n = pivot_major.major_dim
+    total = 0
+    boundaries = list(range(0, n, block_size)) + [n]
+    panels = [
+        (boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
+    ]
+    if inv.traversal is Traversal.BACKWARD:
+        panels.reverse()
+    for lo, hi in panels:
+        total += panel_butterflies(pivot_major, complementary, lo, hi, inv.reference)
+    return total

@@ -1,0 +1,135 @@
+"""Peeling expressed purely as (masked) linear algebra.
+
+Section IV's point is that the peeling algorithms fall out of the *same
+formulation* as counting.  The fast implementations in :mod:`tip` and
+:mod:`wing` compile that formulation down to wedge kernels; this module
+keeps it in matrix form and executes it on the
+:mod:`repro.sparsela.semiring` layer, so each fixpoint round is literally
+the paper's equations:
+
+k-tip round (eqs. 19–21):
+
+    B  = A plus_pair.mxm Aᵀ               # wedge matrix
+    s  = rowreduce( C(offdiag(B), 2) )    # per-vertex butterflies
+    m  = s ≥ k                            # vertex mask
+    A' = m-masked rows of A               # eq. (22)
+
+k-wing round (eqs. 25–27):
+
+    B   = A plus_pair.mxm Aᵀ
+    S_w = (B mxm A  −  diag(B)·1ᵀ  −  1·diag(AᵀA)ᵀ + J) ∘ A
+        —— computed with A itself as the *output mask* of the mxm, the
+        masked-SpGEMM idiom that makes the ∘A free
+    M   = S_w ≥ k
+    A'  = A ∘ M
+
+Identical fixpoints to the fast versions (asserted in tests); the
+per-round cost is a full Gram product, so this is the readable/medium-size
+form, not the production one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import COUNT_DTYPE
+from repro.core.peeling.tip import TipResult
+from repro.core.peeling.wing import WingResult
+from repro.graphs.bipartite import BipartiteGraph
+from repro.sparsela import PatternCSR
+from repro.sparsela.semiring import PLUS_PAIR, ValuedCSR, gram, mxm
+
+__all__ = ["k_tip_linear_algebra", "k_wing_linear_algebra"]
+
+
+def _vertex_vector_from_gram(b: ValuedCSR) -> np.ndarray:
+    """s_i = Σ_{j≠i} C(B_ij, 2): row-reduce the off-diagonal C(·,2) of B."""
+    n = b.shape[0]
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(b.indptr))
+    off = row_ids != b.indices
+    vals = b.values[off].astype(COUNT_DTYPE)
+    contrib = (vals * (vals - 1)) // 2
+    s = np.zeros(n, dtype=COUNT_DTYPE)
+    np.add.at(s, row_ids[off], contrib)
+    return s
+
+
+def k_tip_linear_algebra(
+    graph: BipartiteGraph, k: int, side: str = "left"
+) -> TipResult:
+    """k-tip by iterating the matrix form of eqs. (19)–(22)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if side == "right":
+        inner = k_tip_linear_algebra(graph.swap_sides(), k, side="left")
+        return TipResult(
+            subgraph=inner.subgraph.swap_sides(),
+            kept=inner.kept,
+            rounds=inner.rounds,
+            k=k,
+            side="right",
+        )
+    if side != "left":
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    kept = np.ones(graph.n_left, dtype=bool)
+    current = graph
+    rounds = 0
+    while True:
+        rounds += 1
+        b = gram(current.csr, semiring=PLUS_PAIR)
+        s = _vertex_vector_from_gram(b)
+        offenders = kept & (s < k)  # eq. (20): m = s >= k
+        if not offenders.any():
+            break
+        kept &= ~offenders
+        current = current.subgraph_from_mask(  # eq. (22): A ∘ M
+            kept, np.ones(graph.n_right, dtype=bool)
+        )
+        if not kept.any():
+            break
+    if k > 0:
+        s = _vertex_vector_from_gram(gram(current.csr, semiring=PLUS_PAIR))
+        kept = kept & (s >= k)
+    return TipResult(subgraph=current, kept=kept, rounds=rounds, k=k, side="left")
+
+
+def _edge_support_matrix(a_csr: PatternCSR) -> ValuedCSR:
+    """S_w of eq. (25) with A as the output mask of the inner product.
+
+    S_w = (B·A − diag(B)·1ᵀ − 1·diag(AᵀA)ᵀ + J) ∘ A with B = A·Aᵀ; the
+    Hadamard-∘A is realised by passing A as the mxm mask, so only the m·n
+    positions that can survive are ever computed.
+    """
+    b = gram(a_csr, semiring=PLUS_PAIR)
+    core = mxm(b, a_csr, mask=a_csr)  # (A·Aᵀ·A) ∘ A, via output masking
+    deg_left = a_csr.row_degrees()  # diag(A·Aᵀ)
+    deg_right = a_csr.col_degrees()  # diag(Aᵀ·A)
+    row_ids = np.repeat(
+        np.arange(core.shape[0], dtype=np.int64), np.diff(core.indptr)
+    )
+    values = (
+        core.values
+        - deg_left[row_ids]
+        - deg_right[core.indices]
+        + 1  # the J term, restricted to the mask
+    )
+    return ValuedCSR(core.indptr, core.indices, values, core.shape)
+
+
+def k_wing_linear_algebra(graph: BipartiteGraph, k: int) -> WingResult:
+    """k-wing by iterating the matrix form of eqs. (25)–(27)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    current = graph
+    rounds = 0
+    while current.n_edges:
+        rounds += 1
+        sw = _edge_support_matrix(current.csr)
+        # the mxm mask guarantees sw's pattern equals current.csr's pattern
+        keep = sw.values >= k  # eq. (26)
+        if keep.all():
+            break
+        current = BipartiteGraph.from_csr(current.csr.mask_entries(keep))
+    if rounds == 0:
+        rounds = 1
+    return WingResult(subgraph=current, rounds=rounds, k=k)

@@ -1,0 +1,142 @@
+"""A first-class registry of the whole algorithm family.
+
+The paper's title promises *families* of algorithms; this module makes the
+family enumerable as data.  Every executable combination of
+
+    invariant (1–8) × strategy (adjacency / scratch / spmv)
+                    × executor (unblocked / blocked / parallel)
+
+is wrapped in an :class:`AlgorithmSpec` with a stable name like
+``"inv4-scratch-blocked"``, so tooling (the CLI bench, the integration
+tests, downstream experiment scripts) can iterate, filter, and invoke the
+family uniformly instead of hard-coding its axes.
+
+Not every point of the cross product exists: the blocked executor fixes
+its own reduction (panel keys), so it is registered once per invariant;
+the parallel executor supports all three per-pivot strategies.
+:func:`all_algorithms` documents exactly what is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.blocked import count_butterflies_blocked
+from repro.core.family import INVARIANTS, Invariant, count_butterflies_unblocked
+from repro.core.parallel import count_butterflies_parallel
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["AlgorithmSpec", "all_algorithms", "get_algorithm", "algorithm_names"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One runnable member of the extended family.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, ``inv<k>-<strategy>-<executor>``.
+    invariant:
+        The loop invariant the member maintains.
+    strategy:
+        Update evaluation style (``adjacency``/``scratch``/``spmv``;
+        ``panel`` for the blocked executor's fused reduction).
+    executor:
+        ``unblocked``, ``blocked``, or ``parallel``.
+    fn:
+        ``fn(graph) -> int`` computing Ξ_G exactly.
+    """
+
+    name: str
+    invariant: Invariant
+    strategy: str
+    executor: str
+    fn: Callable[[BipartiteGraph], int]
+
+    def __call__(self, graph: BipartiteGraph) -> int:
+        """Run the member on ``graph``."""
+        return self.fn(graph)
+
+
+def _build_registry() -> dict[str, AlgorithmSpec]:
+    registry: dict[str, AlgorithmSpec] = {}
+
+    def register(spec: AlgorithmSpec) -> None:
+        if spec.name in registry:  # pragma: no cover - construction guard
+            raise RuntimeError(f"duplicate algorithm name {spec.name}")
+        registry[spec.name] = spec
+
+    for k, inv in INVARIANTS.items():
+        for strategy in ("adjacency", "scratch", "spmv"):
+            register(AlgorithmSpec(
+                name=f"inv{k}-{strategy}-unblocked",
+                invariant=inv,
+                strategy=strategy,
+                executor="unblocked",
+                fn=(lambda g, inv=inv, s=strategy:
+                    count_butterflies_unblocked(g, inv, strategy=s)),
+            ))
+        register(AlgorithmSpec(
+            name=f"inv{k}-panel-blocked",
+            invariant=inv,
+            strategy="panel",
+            executor="blocked",
+            fn=(lambda g, inv=inv:
+                count_butterflies_blocked(g, inv, block_size=64)),
+        ))
+        for strategy in ("adjacency", "scratch", "spmv"):
+            register(AlgorithmSpec(
+                name=f"inv{k}-{strategy}-parallel",
+                invariant=inv,
+                strategy=strategy,
+                executor="parallel",
+                fn=(lambda g, inv=inv, s=strategy:
+                    count_butterflies_parallel(
+                        g, n_workers=2, executor="serial", invariant=inv,
+                        strategy=s,
+                    )),
+            ))
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_algorithms(
+    executor: str | None = None,
+    strategy: str | None = None,
+    invariant: int | None = None,
+) -> list[AlgorithmSpec]:
+    """The registered family, optionally filtered along any axis.
+
+    With no filters this is 8 invariants × (3 unblocked + 1 blocked +
+    3 parallel) = 56 members, in name order.
+    """
+    out = []
+    for name in sorted(_REGISTRY):
+        spec = _REGISTRY[name]
+        if executor is not None and spec.executor != executor:
+            continue
+        if strategy is not None and spec.strategy != strategy:
+            continue
+        if invariant is not None and spec.invariant.number != invariant:
+            continue
+        out.append(spec)
+    return out
+
+
+def algorithm_names() -> list[str]:
+    """All registered names (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look one member up by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        close = [n for n in sorted(_REGISTRY) if name.split("-")[0] in n]
+        hint = f"; did you mean one of {close[:4]}?" if close else ""
+        raise KeyError(f"unknown algorithm {name!r}{hint}") from None

@@ -1,0 +1,15 @@
+"""FLAME worksheet machinery: partition views and executable loop invariants."""
+
+from repro.flame.invariant_checks import check_invariant_trace, expected_partial_count
+from repro.flame.partition import ColumnPartition, RowPartition
+from repro.flame.worksheet import Worksheet, run_worksheet, worksheet_for
+
+__all__ = [
+    "ColumnPartition",
+    "RowPartition",
+    "expected_partial_count",
+    "check_invariant_trace",
+    "Worksheet",
+    "worksheet_for",
+    "run_worksheet",
+]

@@ -1,0 +1,156 @@
+"""FLAME-style partition bookkeeping.
+
+The FLAME worksheet (the paper's ref [1]) manipulates matrices through
+partition views:
+
+    A → (A_L | A_R)                 1×2 column partitioning
+    A → (A_T / A_B)                 2×1 row partitioning
+
+with two moves per loop iteration:
+
+    repartition:   (A_L | A_R) → (A_0 | a_1 | A_2)   — expose the pivot
+    continue with: (A_L | A_R) ← (A_0   a_1 | A_2)   — move the boundary
+
+This module implements those views as light objects over a dense or
+compressed matrix — they track only the boundary index, never copy data —
+so the derivation steps of Section III can be executed and *checked*
+literally.  The algorithm implementations in :mod:`repro.core.family` use
+plain integer pivots for speed; these classes exist for the
+invariant-verification tests and for pedagogy (the quickstart example
+walks a worksheet with them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ColumnPartition", "RowPartition"]
+
+
+@dataclass
+class ColumnPartition:
+    """A → (A_L | A_R) over a dense or array-like matrix.
+
+    ``boundary`` is the number of columns in A_L.  ``forward=True`` sweeps
+    L→R (boundary grows), ``forward=False`` sweeps R→L (boundary shrinks);
+    the repartition step always exposes the column adjacent to the moving
+    boundary, exactly as in Figs. 6's two algorithm columns.
+    """
+
+    matrix: np.ndarray
+    boundary: int = 0
+    forward: bool = True
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix)
+        if self.matrix.ndim != 2:
+            raise ValueError("ColumnPartition requires a 2-D matrix")
+        n = self.matrix.shape[1]
+        if self.forward and self.boundary != 0:
+            if not 0 <= self.boundary <= n:
+                raise ValueError("boundary out of range")
+        if not self.forward and self.boundary == 0:
+            self.boundary = n  # R starts empty: all columns in L
+
+    # -- views -----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of columns."""
+        return self.matrix.shape[1]
+
+    @property
+    def left(self) -> np.ndarray:
+        """A_L — the first ``boundary`` columns."""
+        return self.matrix[:, : self.boundary]
+
+    @property
+    def right(self) -> np.ndarray:
+        """A_R — the remaining columns."""
+        return self.matrix[:, self.boundary :]
+
+    # -- loop control ------------------------------------------------------
+    def done(self) -> bool:
+        """Loop guard: n(A_L) = n(A) (forward) or n(A_R) = n(A) (backward)."""
+        return self.boundary == self.n if self.forward else self.boundary == 0
+
+    def repartition(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expose (A_0 | a_1 | A_2) with a_1 the pivot column.
+
+        Forward: a_1 is the first column of A_R; backward: the last column
+        of A_L.  Views only — no copies.
+        """
+        if self.done():
+            raise RuntimeError("repartition called after the loop guard failed")
+        p = self.boundary if self.forward else self.boundary - 1
+        return (
+            self.matrix[:, :p],
+            self.matrix[:, p],
+            self.matrix[:, p + 1 :],
+        )
+
+    @property
+    def pivot_index(self) -> int:
+        """Global index of the column the next repartition exposes."""
+        return self.boundary if self.forward else self.boundary - 1
+
+    def continue_with(self) -> None:
+        """Move the boundary past the exposed pivot (the bottom-of-loop step)."""
+        self.boundary += 1 if self.forward else -1
+
+
+@dataclass
+class RowPartition:
+    """A → (A_T / A_B) over a dense matrix; the 2×1 analogue of
+    :class:`ColumnPartition` used by invariants 5–8 and the k-tip sweep."""
+
+    matrix: np.ndarray
+    boundary: int = 0
+    forward: bool = True
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix)
+        if self.matrix.ndim != 2:
+            raise ValueError("RowPartition requires a 2-D matrix")
+        if not self.forward and self.boundary == 0:
+            self.boundary = self.matrix.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Total number of rows."""
+        return self.matrix.shape[0]
+
+    @property
+    def top(self) -> np.ndarray:
+        """A_T — the first ``boundary`` rows."""
+        return self.matrix[: self.boundary, :]
+
+    @property
+    def bottom(self) -> np.ndarray:
+        """A_B — the remaining rows."""
+        return self.matrix[self.boundary :, :]
+
+    def done(self) -> bool:
+        """Loop guard: m(A_T) = m(A) (forward) or m(A_B) = m(A) (backward)."""
+        return self.boundary == self.m if self.forward else self.boundary == 0
+
+    def repartition(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expose (A_0 / a_1ᵀ / A_2) with a_1ᵀ the pivot row (views)."""
+        if self.done():
+            raise RuntimeError("repartition called after the loop guard failed")
+        p = self.boundary if self.forward else self.boundary - 1
+        return (
+            self.matrix[:p, :],
+            self.matrix[p, :],
+            self.matrix[p + 1 :, :],
+        )
+
+    @property
+    def pivot_index(self) -> int:
+        """Global index of the row the next repartition exposes."""
+        return self.boundary if self.forward else self.boundary - 1
+
+    def continue_with(self) -> None:
+        """Move the boundary past the exposed pivot."""
+        self.boundary += 1 if self.forward else -1

@@ -1,0 +1,150 @@
+"""Declarative FLAME worksheets for the butterfly family.
+
+Section III-C walks through the eight steps of the FLAME worksheet for
+loop invariant 2; this module encodes the *whole family* as worksheet
+objects — (precondition, loop guard, invariant, update) — and provides a
+generic executor that runs any of them over a dense biadjacency matrix
+while checking the invariant at the top and bottom of every iteration.
+
+This is deliberately the slow, literal form (dense matrix views, the
+update written exactly as eq. 18 / Fig. 6–7): its role is pedagogy and
+verification, mirroring how the paper derives before it optimises.  The
+fast implementations live in :mod:`repro.core.family`; the tests assert
+the two agree everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.family import INVARIANTS, Invariant, Reference, Side, Traversal
+from repro.flame.partition import ColumnPartition, RowPartition
+from repro.sparsela.kernels import choose2_sum
+
+__all__ = ["Worksheet", "worksheet_for", "run_worksheet"]
+
+
+@dataclass(frozen=True)
+class Worksheet:
+    """One FLAME worksheet: the derivation artifacts of Section III-C.
+
+    Attributes
+    ----------
+    invariant:
+        The family member this worksheet derives.
+    precondition:
+        Assertion on the initial state (Ξ = 0 for the whole family).
+    invariant_value:
+        Callable ``(A, steps_done) → int`` giving the value the running
+        total must hold when ``steps_done`` pivots have been processed —
+        the executable form of Figs. 4–5.
+    update:
+        Callable ``(a0, a1, a2) → int`` computing the per-iteration
+        contribution from the exposed partitions (eq. 18 and its Fig. 6/7
+        analogues).
+    """
+
+    invariant: Invariant
+    precondition: int
+    invariant_value: Callable[[np.ndarray, int], int]
+    update: Callable[[np.ndarray, np.ndarray, np.ndarray], int]
+
+
+def _update_prefix(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> int:
+    """Fig. 6/7 Algorithms 1, 3 (and row analogues 5, 7):
+    Ξ += ½·a₁ᵀA₀A₀ᵀa₁ − ½·Γ(a₁a₁ᵀ ∘ A₀A₀ᵀ) = Σ_u C((A₀ᵀa₁)_u, 2)."""
+    if a0.size == 0:
+        return 0
+    y = a0.T @ a1
+    return choose2_sum(y)
+
+
+def _update_suffix(a0: np.ndarray, a1: np.ndarray, a2: np.ndarray) -> int:
+    """Fig. 6/7 Algorithms 2, 4 (and row analogues 6, 8):
+    Ξ += ½·a₁ᵀA₂A₂ᵀa₁ − ½·Γ(a₁a₁ᵀ ∘ A₂A₂ᵀ) = Σ_u C((A₂ᵀa₁)_u, 2)."""
+    if a2.size == 0:
+        return 0
+    y = a2.T @ a1
+    return choose2_sum(y)
+
+
+def worksheet_for(invariant: int | Invariant) -> Worksheet:
+    """Build the worksheet of one family member."""
+    inv = INVARIANTS[invariant] if isinstance(invariant, int) else invariant
+    from repro.flame.invariant_checks import expected_partial_count
+    from repro.graphs.bipartite import BipartiteGraph
+
+    def invariant_value(a: np.ndarray, steps_done: int) -> int:
+        g = BipartiteGraph.from_biadjacency(a)
+        return expected_partial_count(g, inv, steps_done)
+
+    update = (
+        _update_prefix if inv.reference is Reference.PREFIX else _update_suffix
+    )
+    return Worksheet(
+        invariant=inv,
+        precondition=0,
+        invariant_value=invariant_value,
+        update=update,
+    )
+
+
+def run_worksheet(
+    a: np.ndarray,
+    invariant: int | Invariant,
+    check_invariant: bool = True,
+) -> int:
+    """Execute a worksheet over a dense biadjacency matrix.
+
+    Follows the eight steps literally: initialise the partitioning so the
+    invariant holds vacuously, loop under the guard, repartition to expose
+    ``a₁``, apply the update, move the boundary, and (optionally) assert
+    the invariant after every iteration.
+
+    Parameters
+    ----------
+    a:
+        Dense 0/1 biadjacency matrix.
+    invariant:
+        Family member 1–8 (or an :class:`Invariant`).
+    check_invariant:
+        Assert the loop invariant at the bottom of every iteration — the
+        executable proof-of-correctness.  Disable for timing.
+
+    Returns
+    -------
+    int
+        Ξ_G.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    ws = worksheet_for(invariant)
+    inv = ws.invariant
+    forward = inv.traversal is Traversal.FORWARD
+    if inv.side is Side.COLUMNS:
+        part = ColumnPartition(a, forward=forward)
+    else:
+        part = RowPartition(a, forward=forward)
+    total = ws.precondition
+    if check_invariant:
+        assert total == ws.invariant_value(a, 0), "precondition fails"
+    steps = 0
+    while not part.done():
+        a0, a1, a2 = part.repartition()
+        if inv.side is Side.ROWS:
+            # rows expose a₁ᵀ; the update formulas are written for column
+            # vectors of the transposed view, so transpose the operands
+            total += ws.update(a0.T, a1, a2.T)
+        else:
+            total += ws.update(a0, a1, a2)
+        part.continue_with()
+        steps += 1
+        if check_invariant:
+            expected = ws.invariant_value(a, steps)
+            assert total == expected, (
+                f"invariant {inv.number} broken at step {steps}: "
+                f"{total} != {expected}"
+            )
+    return total

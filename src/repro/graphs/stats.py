@@ -1,0 +1,78 @@
+"""Summary statistics for bipartite graphs.
+
+These are the structural quantities Section V of the paper identifies as
+performance-determining — partition-size ratio and edge sparsity — plus the
+degree summaries used when matching synthetic stand-ins to the KONECT
+originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["GraphStats", "graph_stats", "wedge_count_left", "wedge_count_right"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary of a bipartite graph."""
+
+    n_left: int
+    n_right: int
+    n_edges: int
+    #: |E| / (|V1|·|V2|) — the "edge sparsity" of Section V
+    density: float
+    #: |V1| / |V2| (∞ when |V2| = 0)
+    side_ratio: float
+    max_degree_left: int
+    max_degree_right: int
+    mean_degree_left: float
+    mean_degree_right: float
+    #: Σ_v C(deg(v), 2) over V2 — wedges with endpoints in V1
+    wedges_left_endpoints: int
+    #: Σ_u C(deg(u), 2) over V1 — wedges with endpoints in V2
+    wedges_right_endpoints: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for table rendering)."""
+        return dict(self.__dict__)
+
+
+def wedge_count_left(graph: BipartiteGraph) -> int:
+    """Number of wedges whose endpoints lie in V1 (wedge point in V2).
+
+    Each right vertex v of degree d contributes C(d, 2) wedges; this equals
+    eq. (6) of the paper, W = ½Γ(JBᵀ) − ½Γ(B) with B = AAᵀ.
+    """
+    d = graph.degrees_right().astype(np.int64)
+    return int(np.sum(d * (d - 1)) // 2)
+
+
+def wedge_count_right(graph: BipartiteGraph) -> int:
+    """Number of wedges whose endpoints lie in V2 (wedge point in V1)."""
+    d = graph.degrees_left().astype(np.int64)
+    return int(np.sum(d * (d - 1)) // 2)
+
+
+def graph_stats(graph: BipartiteGraph) -> GraphStats:
+    """Compute the full :class:`GraphStats` summary."""
+    dl = graph.degrees_left()
+    dr = graph.degrees_right()
+    cells = graph.n_left * graph.n_right
+    return GraphStats(
+        n_left=graph.n_left,
+        n_right=graph.n_right,
+        n_edges=graph.n_edges,
+        density=graph.n_edges / cells if cells else 0.0,
+        side_ratio=(graph.n_left / graph.n_right) if graph.n_right else float("inf"),
+        max_degree_left=int(dl.max()) if dl.size else 0,
+        max_degree_right=int(dr.max()) if dr.size else 0,
+        mean_degree_left=float(dl.mean()) if dl.size else 0.0,
+        mean_degree_right=float(dr.mean()) if dr.size else 0.0,
+        wedges_left_endpoints=wedge_count_left(graph),
+        wedges_right_endpoints=wedge_count_right(graph),
+    )

@@ -1,0 +1,113 @@
+"""BFS and connected components on bipartite graphs.
+
+A small traversal substrate used by the cleanup utilities and the
+examples: component structure matters for butterfly analysis because
+butterflies never span components, so counting can be decomposed (and
+peeling restricted) per component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro._types import INDEX_DTYPE
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["bfs", "connected_components", "largest_component_masks"]
+
+
+def bfs(
+    graph: BipartiteGraph, source: int, side: str = "left"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Breadth-first distances from one vertex.
+
+    Returns ``(dist_left, dist_right)`` — hop distances from the source to
+    every vertex on each side, −1 for unreachable.  Distances alternate
+    parity between the sides, as they must in a bipartite graph (asserted
+    in the tests).
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    n_check = graph.n_left if side == "left" else graph.n_right
+    if not 0 <= source < n_check:
+        raise IndexError(f"source {source} out of range for side {side!r}")
+    dist_l = np.full(graph.n_left, -1, dtype=INDEX_DTYPE)
+    dist_r = np.full(graph.n_right, -1, dtype=INDEX_DTYPE)
+    queue: deque[tuple[int, bool]] = deque()
+    if side == "left":
+        dist_l[source] = 0
+        queue.append((source, True))
+    else:
+        dist_r[source] = 0
+        queue.append((source, False))
+    while queue:
+        v, on_left = queue.popleft()
+        if on_left:
+            d = dist_l[v] + 1
+            for w in graph.neighbors_left(v):
+                if dist_r[w] < 0:
+                    dist_r[w] = d
+                    queue.append((int(w), False))
+        else:
+            d = dist_r[v] + 1
+            for w in graph.neighbors_right(v):
+                if dist_l[w] < 0:
+                    dist_l[w] = d
+                    queue.append((int(w), True))
+    return dist_l, dist_r
+
+
+def connected_components(graph: BipartiteGraph) -> tuple[np.ndarray, np.ndarray, int]:
+    """Component labels for both sides.
+
+    Returns ``(label_left, label_right, n_components)``.  Isolated
+    vertices each form their own singleton component.
+    """
+    label_l = np.full(graph.n_left, -1, dtype=INDEX_DTYPE)
+    label_r = np.full(graph.n_right, -1, dtype=INDEX_DTYPE)
+    comp = 0
+    for start in range(graph.n_left):
+        if label_l[start] >= 0:
+            continue
+        label_l[start] = comp
+        queue: deque[tuple[int, bool]] = deque([(start, True)])
+        while queue:
+            v, on_left = queue.popleft()
+            if on_left:
+                for w in graph.neighbors_left(v):
+                    if label_r[w] < 0:
+                        label_r[w] = comp
+                        queue.append((int(w), False))
+            else:
+                for w in graph.neighbors_right(v):
+                    if label_l[w] < 0:
+                        label_l[w] = comp
+                        queue.append((int(w), True))
+        comp += 1
+    for v in range(graph.n_right):
+        if label_r[v] < 0:
+            label_r[v] = comp
+            comp += 1
+    return label_l, label_r, comp
+
+
+def largest_component_masks(
+    graph: BipartiteGraph,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Boolean masks selecting the component with the most edges.
+
+    Ties break toward the smallest label.  An edgeless graph returns
+    all-False masks.
+    """
+    if graph.n_edges == 0:
+        return (
+            np.zeros(graph.n_left, dtype=bool),
+            np.zeros(graph.n_right, dtype=bool),
+        )
+    label_l, label_r, n_comp = connected_components(graph)
+    edge_labels = label_l[graph.coo.rows]
+    counts = np.bincount(edge_labels, minlength=n_comp)
+    best = int(np.argmax(counts))
+    return label_l == best, label_r == best

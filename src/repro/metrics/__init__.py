@@ -1,0 +1,23 @@
+"""Butterfly-derived graph metrics."""
+
+from repro.metrics.clustering import (
+    bipartite_clustering_coefficient,
+    caterpillar_count,
+    local_clustering_left,
+)
+from repro.metrics.distributions import (
+    ButterflyConcentration,
+    butterfly_concentration,
+    butterfly_degree_histogram,
+    wedge_multiplicity_histogram,
+)
+
+__all__ = [
+    "caterpillar_count",
+    "bipartite_clustering_coefficient",
+    "local_clustering_left",
+    "butterfly_degree_histogram",
+    "wedge_multiplicity_histogram",
+    "ButterflyConcentration",
+    "butterfly_concentration",
+]

@@ -1,0 +1,25 @@
+"""Pure-Python reference transliterations of the paper's algorithms.
+
+No NumPy inside the algorithms — plain lists, dicts, and loops, written to
+match the paper's pseudocode line-for-line.  These are the slowest and
+most auditable implementations in the repository; their role is
+
+1. a fourth independent oracle (no shared kernels with anything else),
+2. the version of the code a reader holds next to the paper's figures.
+"""
+
+from repro.reference.family_reference import (
+    butterflies_reference,
+    butterflies_reference_all_invariants,
+)
+from repro.reference.peeling_reference import (
+    k_tip_reference,
+    k_wing_reference,
+)
+
+__all__ = [
+    "butterflies_reference",
+    "butterflies_reference_all_invariants",
+    "k_tip_reference",
+    "k_wing_reference",
+]

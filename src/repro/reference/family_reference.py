@@ -1,0 +1,88 @@
+"""The eight counting algorithms, transliterated from Figs. 6–7.
+
+Each algorithm is the literal loop of the paper's figure over adjacency
+*lists* (the pure-Python analogue of CSC/CSR): partition boundary, expose
+pivot a₁, evaluate the update
+
+    Ξ := ½·a₁ᵀ·A_ref·A_refᵀ·a₁ − ½·Γ(a₁a₁ᵀ ∘ A_ref·A_refᵀ) + Ξ
+
+as Σ_u C(y_u, 2) with y_u = |N(pivot) ∩ N(u)| over the reference
+partition, and move the boundary.  The intersection counting walks the
+two-hop neighbourhood with a plain dict — no vectorisation, no shared
+code with :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["butterflies_reference", "butterflies_reference_all_invariants"]
+
+
+def _adjacency_lists(graph: BipartiteGraph) -> tuple[list[list[int]], list[list[int]]]:
+    """(left adjacency, right adjacency) as plain Python lists."""
+    left = [[] for _ in range(graph.n_left)]
+    right = [[] for _ in range(graph.n_right)]
+    for u, v in graph.edges():
+        left[int(u)].append(int(v))
+        right[int(v)].append(int(u))
+    return left, right
+
+
+def _update(
+    pivot: int,
+    pivot_adj: list[list[int]],
+    other_adj: list[list[int]],
+    ref_lo: int,
+    ref_hi: int,
+) -> int:
+    """Σ_u C(y_u, 2) over reference vertices u ∈ [ref_lo, ref_hi) \\ {pivot}.
+
+    y_u = number of wedges between the pivot and u = |N(pivot) ∩ N(u)|,
+    accumulated by walking pivot → other side → same side.
+    """
+    wedge_counts: dict[int, int] = {}
+    for mid in pivot_adj[pivot]:
+        for u in other_adj[mid]:
+            if ref_lo <= u < ref_hi and u != pivot:
+                wedge_counts[u] = wedge_counts.get(u, 0) + 1
+    total = 0
+    for c in wedge_counts.values():
+        total += c * (c - 1) // 2
+    return total
+
+
+def butterflies_reference(graph: BipartiteGraph, invariant: int) -> int:
+    """Count butterflies with the transliterated algorithm ``invariant`` (1–8).
+
+    Matches the family's semantics exactly: invariants 1–4 sweep the
+    columns (V2), 5–8 the rows (V1); odd invariants within each side read
+    the positional prefix A₀, even ones the suffix A₂; 1/2 and 5/6 sweep
+    forward, 3/4 and 7/8 backward (the sweep direction does not change the
+    total, only the loop structure — kept for fidelity to Figs. 6–7).
+    """
+    if invariant not in range(1, 9):
+        raise ValueError(f"invariant must be 1..8, got {invariant}")
+    left_adj, right_adj = _adjacency_lists(graph)
+    if invariant <= 4:  # partition V2: pivots are columns
+        pivot_adj, other_adj = right_adj, left_adj
+        n = graph.n_right
+    else:  # partition V1: pivots are rows
+        pivot_adj, other_adj = left_adj, right_adj
+        n = graph.n_left
+    forward = invariant in (1, 2, 5, 6)
+    use_prefix = invariant in (1, 3, 5, 7)
+    order = range(n) if forward else range(n - 1, -1, -1)
+    total = 0
+    for pivot in order:
+        if use_prefix:
+            total += _update(pivot, pivot_adj, other_adj, 0, pivot)
+        else:
+            total += _update(pivot, pivot_adj, other_adj, pivot + 1, n)
+    return total
+
+
+def butterflies_reference_all_invariants(graph: BipartiteGraph) -> list[int]:
+    """All eight counts (they must be equal; returned for the tests to
+    assert exactly that)."""
+    return [butterflies_reference(graph, k) for k in range(1, 9)]

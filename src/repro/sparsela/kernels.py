@@ -1,0 +1,149 @@
+"""Vectorised kernels shared by the counting and peeling algorithms.
+
+These are the hot inner loops of the package, written as whole-array NumPy
+operations per the HPC guidance (no per-element Python loops):
+
+- :func:`gather_slices` — fetch and concatenate many compressed slices at
+  once, the sparse analogue of a block gather.  Every wedge-enumeration in
+  the package bottoms out here.
+- :func:`multiplicity_counts` — multiset → (values, counts), used to turn a
+  wedge list into per-endpoint wedge counts.
+- :func:`choose2_sum` / :func:`choose2` — the Σ C(x, 2) reduction that turns
+  wedge counts into butterfly counts (``C(n,2)`` distinct wedge pairs form
+  ``C(n,2)`` butterflies, Section II of the paper).
+- :func:`spmv_pattern` — y = A·x for a pattern matrix and dense vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import COUNT_DTYPE, INDEX_DTYPE
+from repro.sparsela._compressed import CompressedPattern
+
+__all__ = [
+    "gather_slices",
+    "multiplicity_counts",
+    "choose2",
+    "choose2_sum",
+    "spmv_pattern",
+    "spmv_pattern_transposed",
+    "segment_sums",
+]
+
+
+def gather_slices(
+    indptr: np.ndarray, indices: np.ndarray, ids: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``indices[indptr[i]:indptr[i+1]]`` for every ``i`` in ``ids``.
+
+    Fully vectorised: builds a single gather-index array with the standard
+    ``repeat + cumsum`` trick, then performs one fancy-index read.  The
+    output preserves the order of ``ids`` and the order within each slice.
+
+    This is the workhorse of wedge enumeration: for a vertex ``v`` with
+    neighbourhood ``N(v)``, ``gather_slices(other.indptr, other.indices,
+    N(v))`` is the multiset of wedge endpoints reachable from ``v``.
+    """
+    ids = np.asarray(ids, dtype=INDEX_DTYPE)
+    if ids.size == 0:
+        return np.empty(0, dtype=indices.dtype)
+    starts = indptr[ids]
+    lengths = indptr[ids + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    # offsets[k] = position in the output where slice k begins
+    offsets = np.zeros(len(ids), dtype=INDEX_DTYPE)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    # gather index: for output position p in slice k,
+    #   src[p] = starts[k] + (p - offsets[k])
+    src = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=INDEX_DTYPE)
+    return indices[src]
+
+
+def multiplicity_counts(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct values and their multiplicities for a 1-D integer multiset.
+
+    Equivalent to ``np.unique(values, return_counts=True)`` but kept as a
+    named kernel so the algorithms read like the math ("wedge counts per
+    endpoint") and so the implementation can be swapped wholesale.
+    """
+    if values.size == 0:
+        return values, np.empty(0, dtype=COUNT_DTYPE)
+    uniq, counts = np.unique(values, return_counts=True)
+    return uniq, counts.astype(COUNT_DTYPE)
+
+
+def choose2(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``C(x, 2) = x·(x−1)/2`` in exact int64 arithmetic."""
+    x = np.asarray(x, dtype=COUNT_DTYPE)
+    return (x * (x - 1)) // 2
+
+
+def choose2_sum(x: np.ndarray) -> int:
+    """``Σ_i C(x_i, 2)`` as a Python int.
+
+    This is the reduction at the heart of every butterfly counter: if
+    ``x_u`` is the number of distinct wedges between a fixed vertex and
+    vertex ``u``, then ``C(x_u, 2)`` is the number of butterflies they close.
+    """
+    if np.asarray(x).size == 0:
+        return 0
+    x = np.asarray(x, dtype=COUNT_DTYPE)
+    return int(np.sum(x * (x - 1)) // 2)
+
+
+def spmv_pattern(a: CompressedPattern, x: np.ndarray) -> np.ndarray:
+    """Dense ``y = A·x`` for a compressed pattern matrix.
+
+    Works for either format: conceptually sums ``x`` over the stored entries
+    of each row.  For CSR this is a segmented sum over slices; for CSC it is
+    a scatter-add of ``x[j]`` into the rows of column ``j``.
+    """
+    x = np.asarray(x)
+    m, n = a.shape
+    if x.shape != (n,):
+        raise ValueError(f"x must have shape ({n},), got {x.shape}")
+    out_dtype = np.result_type(x.dtype, COUNT_DTYPE) if x.dtype.kind in "iub" else x.dtype
+    if a.MAJOR_AXIS == 0:  # CSR: y_i = sum of x at column ids of row i
+        vals = x[a.indices]
+        return segment_sums(vals, a.indptr, out_dtype)
+    # CSC: y += x[j] at each stored row id of column j
+    y = np.zeros(m, dtype=out_dtype)
+    contrib = np.repeat(x, np.diff(a.indptr))
+    np.add.at(y, a.indices, contrib)
+    return y
+
+
+def spmv_pattern_transposed(a: CompressedPattern, x: np.ndarray) -> np.ndarray:
+    """Dense ``y = Aᵀ·x`` for a compressed pattern matrix."""
+    x = np.asarray(x)
+    m, n = a.shape
+    if x.shape != (m,):
+        raise ValueError(f"x must have shape ({m},), got {x.shape}")
+    out_dtype = np.result_type(x.dtype, COUNT_DTYPE) if x.dtype.kind in "iub" else x.dtype
+    if a.MAJOR_AXIS == 1:  # CSC: (Aᵀx)_j = sum of x at row ids of column j
+        vals = x[a.indices]
+        return segment_sums(vals, a.indptr, out_dtype)
+    y = np.zeros(n, dtype=out_dtype)
+    contrib = np.repeat(x, np.diff(a.indptr))
+    np.add.at(y, a.indices, contrib)
+    return y
+
+
+def segment_sums(values: np.ndarray, indptr: np.ndarray, dtype=None) -> np.ndarray:
+    """Sum ``values`` within each ``indptr`` segment.
+
+    ``out[k] = values[indptr[k]:indptr[k+1]].sum()``.  Implemented with a
+    cumulative sum so it is one pass regardless of segment count; empty
+    segments yield 0.
+    """
+    values = np.asarray(values)
+    if dtype is None:
+        dtype = np.result_type(values.dtype, COUNT_DTYPE)
+    if values.size == 0:
+        return np.zeros(len(indptr) - 1, dtype=dtype)
+    csum = np.zeros(values.size + 1, dtype=dtype)
+    np.cumsum(values, out=csum[1:])
+    return csum[indptr[1:]] - csum[indptr[:-1]]

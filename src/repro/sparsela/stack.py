@@ -1,0 +1,79 @@
+"""Horizontal/vertical stacking of pattern matrices.
+
+The derivation's partitionings A → (A_L | A_R) and A → (A_T / A_B) are
+*views* in the algorithms; tests and experiments sometimes need them as
+materialised matrices (e.g. to feed a partition back through the
+specification, or to build block-structured workloads).  These helpers
+are the inverses of ``select_cols`` / ``select_rows``:
+
+    hstack([A.select_cols(range(s)), A.select_cols(range(s, n))]) == A
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import INDEX_DTYPE
+from repro.sparsela.coo import PatternCOO
+from repro.sparsela.csc import PatternCSC
+from repro.sparsela.csr import PatternCSR
+
+__all__ = ["hstack_patterns", "vstack_patterns"]
+
+
+def _as_coo(block) -> PatternCOO:
+    if isinstance(block, PatternCOO):
+        return block
+    if isinstance(block, (PatternCSR, PatternCSC)):
+        return block.to_coo()
+    raise TypeError(f"expected a pattern matrix, got {type(block)!r}")
+
+
+def hstack_patterns(blocks) -> PatternCSR:
+    """Concatenate pattern matrices left-to-right: (B₀ | B₁ | …).
+
+    All blocks must share the row count.  Returns CSR (convert as needed).
+    """
+    coos = [_as_coo(b) for b in blocks]
+    if not coos:
+        raise ValueError("hstack needs at least one block")
+    m = coos[0].shape[0]
+    if any(c.shape[0] != m for c in coos):
+        raise ValueError(
+            f"row counts differ: {[c.shape[0] for c in coos]}"
+        )
+    rows, cols, offset = [], [], 0
+    for c in coos:
+        rows.append(c.rows)
+        cols.append(c.cols + offset)
+        offset += c.shape[1]
+    return PatternCSR.from_coo(PatternCOO(
+        np.concatenate(rows) if rows else np.empty(0, dtype=INDEX_DTYPE),
+        np.concatenate(cols) if cols else np.empty(0, dtype=INDEX_DTYPE),
+        (m, offset),
+    ))
+
+
+def vstack_patterns(blocks) -> PatternCSR:
+    """Concatenate pattern matrices top-to-bottom: (B₀ / B₁ / …).
+
+    All blocks must share the column count.  Returns CSR.
+    """
+    coos = [_as_coo(b) for b in blocks]
+    if not coos:
+        raise ValueError("vstack needs at least one block")
+    n = coos[0].shape[1]
+    if any(c.shape[1] != n for c in coos):
+        raise ValueError(
+            f"column counts differ: {[c.shape[1] for c in coos]}"
+        )
+    rows, cols, offset = [], [], 0
+    for c in coos:
+        rows.append(c.rows + offset)
+        cols.append(c.cols)
+        offset += c.shape[0]
+    return PatternCSR.from_coo(PatternCOO(
+        np.concatenate(rows) if rows else np.empty(0, dtype=INDEX_DTYPE),
+        np.concatenate(cols) if cols else np.empty(0, dtype=INDEX_DTYPE),
+        (offset, n),
+    ))

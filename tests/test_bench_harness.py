@@ -1,0 +1,112 @@
+"""Tests for the benchmark harness, table rendering, and workload registry."""
+
+import pytest
+
+from repro.bench import (
+    Sweep,
+    TimedResult,
+    crossover_workloads,
+    fig9_workloads,
+    format_markdown_table,
+    format_seconds,
+    format_table,
+    sparsity_workloads,
+    time_callable,
+)
+
+
+# ------------------------------------------------------------------ timing
+def test_time_callable_returns_value_and_positive_time():
+    res = time_callable(lambda: 7 * 6, repeats=2, label="mult")
+    assert res.value == 42
+    assert res.seconds >= 0
+    assert res.label == "mult"
+
+
+def test_time_callable_rejects_zero_repeats():
+    with pytest.raises(ValueError, match="repeats"):
+        time_callable(lambda: None, repeats=0)
+
+
+def test_time_callable_best_of_semantics():
+    calls = []
+    res = time_callable(lambda: calls.append(1), repeats=3)
+    assert len(calls) == 3
+
+
+# ------------------------------------------------------------------- sweep
+def _mk(v, t=0.1):
+    return TimedResult(label="x", seconds=t, value=v)
+
+
+def test_sweep_records_and_renders():
+    s = Sweep(title="demo")
+    s.record("d1", "A", _mk(5, 0.5))
+    s.record("d1", "B", _mk(5, 1.5))
+    s.record("d2", "A", _mk(9, 120.0))
+    out = s.render()
+    assert "demo" in out and "d1" in out and "A" in out
+    assert s.get("d1", "B").value == 5
+    assert s.get("d9", "A") is None
+
+
+def test_sweep_values_agree_detects_mismatch():
+    s = Sweep(title="x")
+    s.record("d", "A", _mk(1))
+    s.record("d", "B", _mk(1))
+    assert s.values_agree()
+    s.record("d", "C", _mk(2))
+    assert not s.values_agree()
+
+
+def test_sweep_missing_cells_render_dash():
+    s = Sweep(title="x")
+    s.record("d1", "A", _mk(1))
+    s.record("d2", "B", _mk(1))
+    assert "-" in s.render()
+
+
+# ------------------------------------------------------------------ tables
+def test_format_seconds_widths():
+    assert format_seconds(123.4).strip() == "123.4"
+    assert format_seconds(1.2345).strip() == "1.234" or "1.23" in format_seconds(1.2345)
+    assert "0.0012" in format_seconds(0.00123)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "---" in lines[2]
+    assert len(lines) == 5
+
+
+def test_format_markdown_table():
+    out = format_markdown_table(["x", "y"], [[1, 2]], title="My table")
+    assert out.startswith("### My table")
+    assert "| x | y |" in out
+    assert "| 1 | 2 |" in out
+
+
+# --------------------------------------------------------------- registry
+def test_fig9_workloads_names_and_order():
+    w = fig9_workloads()
+    assert list(w) == ["arxiv", "producers", "recordlabels", "occupations", "github"]
+
+
+def test_crossover_workloads_span_both_regimes():
+    w = crossover_workloads(total_vertices=600, n_edges=1200)
+    assert len(w) == 7
+    ratios = [(g.n_left, g.n_right) for g in w.values()]
+    assert any(m < n for m, n in ratios) and any(m > n for m, n in ratios)
+    # fixed totals
+    assert all(m + n == 600 for m, n in ratios)
+
+
+def test_sparsity_workloads_double_edges():
+    w = sparsity_workloads(n_left=300, n_right=500)
+    edges = [g.n_edges for g in w.values()]
+    assert edges == sorted(edges)
+    assert edges[-1] == 8 * edges[0]
+    # vertex counts fixed
+    assert all(g.n_left == 300 and g.n_right == 500 for g in w.values())

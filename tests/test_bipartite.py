@@ -1,0 +1,143 @@
+"""Unit tests for the BipartiteGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import BipartiteGraph
+from repro.sparsela import PatternCOO
+
+
+def test_construct_from_pairs():
+    g = BipartiteGraph([(0, 1), (1, 0)], n_left=2, n_right=2)
+    assert g.n_left == 2 and g.n_right == 2 and g.n_edges == 2
+
+
+def test_construct_infers_sizes():
+    g = BipartiteGraph([(3, 5)])
+    assert g.n_left == 4 and g.n_right == 6
+
+
+def test_construct_from_array():
+    edges = np.array([[0, 0], [1, 1]])
+    g = BipartiteGraph(edges)
+    assert g.n_edges == 2
+
+
+def test_construct_merges_parallel_edges():
+    g = BipartiteGraph([(0, 0), (0, 0)], n_left=1, n_right=1)
+    assert g.n_edges == 1
+
+
+def test_partial_size_spec_rejected():
+    with pytest.raises(ValueError, match="both"):
+        BipartiteGraph([(0, 0)], n_left=2)
+
+
+def test_coo_input_with_shape_rejected():
+    coo = PatternCOO.from_pairs([(0, 0)], shape=(1, 1))
+    with pytest.raises(ValueError, match="fixed"):
+        BipartiteGraph(coo, n_left=1, n_right=1)
+
+
+def test_from_biadjacency(rng):
+    dense = (rng.random((6, 8)) < 0.4).astype(int)
+    g = BipartiteGraph.from_biadjacency(dense)
+    assert np.array_equal(g.biadjacency_dense(), dense)
+
+
+def test_empty_and_complete():
+    e = BipartiteGraph.empty(3, 4)
+    assert e.n_edges == 0
+    c = BipartiteGraph.complete(3, 4)
+    assert c.n_edges == 12
+    assert (c.biadjacency_dense() == 1).all()
+
+
+def test_csr_csc_cached_and_consistent(rng):
+    dense = (rng.random((5, 7)) < 0.5).astype(int)
+    g = BipartiteGraph.from_biadjacency(dense)
+    assert g.csr is g.csr  # cached
+    assert g.csc is g.csc
+    assert np.array_equal(g.csr.to_dense(), dense)
+    assert np.array_equal(g.csc.to_dense(), dense)
+
+
+def test_from_csr_from_csc_roundtrip(rng):
+    dense = (rng.random((5, 7)) < 0.5).astype(int)
+    g = BipartiteGraph.from_biadjacency(dense)
+    assert BipartiteGraph.from_csr(g.csr) == g
+    assert BipartiteGraph.from_csc(g.csc) == g
+
+
+def test_adjacency_dense_block_structure():
+    g = BipartiteGraph([(0, 0)], n_left=2, n_right=2)
+    adj = g.adjacency_dense()
+    assert adj.shape == (4, 4)
+    assert adj[0, 2] == 1 and adj[2, 0] == 1  # edge across the bipartition
+    assert adj[:2, :2].sum() == 0 and adj[2:, 2:].sum() == 0  # no intra-side
+    assert np.array_equal(adj, adj.T)
+
+
+def test_neighbors():
+    g = BipartiteGraph([(0, 1), (0, 2), (1, 2)], n_left=2, n_right=3)
+    assert g.neighbors_left(0).tolist() == [1, 2]
+    assert g.neighbors_right(2).tolist() == [0, 1]
+    assert g.neighbors_right(0).tolist() == []
+
+
+def test_degrees():
+    g = BipartiteGraph([(0, 1), (0, 2), (1, 2)], n_left=2, n_right=3)
+    assert g.degrees_left().tolist() == [2, 1]
+    assert g.degrees_right().tolist() == [0, 1, 2]
+
+
+def test_swap_sides(rng):
+    dense = (rng.random((4, 6)) < 0.5).astype(int)
+    g = BipartiteGraph.from_biadjacency(dense)
+    s = g.swap_sides()
+    assert s.n_left == 6 and s.n_right == 4
+    assert np.array_equal(s.biadjacency_dense(), dense.T)
+
+
+def test_relabel_left():
+    g = BipartiteGraph([(0, 0), (1, 1)], n_left=2, n_right=2)
+    r = g.relabel(left_perm=np.array([1, 0]))
+    assert r.biadjacency_dense().tolist() == [[0, 1], [1, 0]]
+
+
+def test_relabel_rejects_non_permutation():
+    g = BipartiteGraph.empty(3, 3)
+    with pytest.raises(ValueError, match="permutation"):
+        g.relabel(left_perm=np.array([0, 0, 1]))
+    with pytest.raises(ValueError, match="permutation"):
+        g.relabel(right_perm=np.array([0, 1, 3]))
+
+
+def test_subgraph_from_mask_keeps_ids():
+    g = BipartiteGraph([(0, 0), (1, 1), (2, 0)], n_left=3, n_right=2)
+    sub = g.subgraph_from_mask(
+        np.array([True, False, True]), np.array([True, True])
+    )
+    assert sub.shape == g.shape  # ids preserved
+    assert sub.n_edges == 2
+    assert sub.neighbors_left(1).size == 0
+
+
+def test_subgraph_from_mask_shape_check():
+    g = BipartiteGraph.empty(2, 2)
+    with pytest.raises(ValueError, match="masks"):
+        g.subgraph_from_mask(np.array([True]), np.array([True, True]))
+
+
+def test_edges_sorted_row_major():
+    g = BipartiteGraph([(1, 0), (0, 1), (0, 0)], n_left=2, n_right=2)
+    assert g.edges().tolist() == [[0, 0], [0, 1], [1, 0]]
+
+
+def test_equality_and_repr():
+    a = BipartiteGraph([(0, 0)], n_left=1, n_right=1)
+    b = BipartiteGraph([(0, 0)], n_left=1, n_right=1)
+    assert a == b
+    assert "|V1|=1" in repr(a)
+    with pytest.raises(TypeError):
+        hash(a)

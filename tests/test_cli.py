@@ -1,0 +1,160 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import gnm_bipartite, save_konect
+
+
+@pytest.fixture()
+def konect_file(tmp_path):
+    g = gnm_bipartite(10, 12, 40, seed=1)
+    path = tmp_path / "g.konect"
+    save_konect(g, path)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info_command(konect_file, capsys):
+    assert main(["info", konect_file]) == 0
+    out = capsys.readouterr().out
+    assert "butterflies" in out
+    assert "clustering" in out
+
+
+def test_info_on_dataset(capsys):
+    assert main(["info", "dataset:arxiv"]) == 0
+    out = capsys.readouterr().out
+    assert "n_edges" in out
+
+
+def test_count_auto(konect_file, capsys):
+    assert main(["count", konect_file]) == 0
+    out = capsys.readouterr().out
+    assert "auto" in out and "butterflies:" in out
+
+
+def test_count_explicit_invariant_consistency(konect_file, capsys):
+    values = set()
+    for inv in ("1", "5", "8"):
+        main(["count", konect_file, "--invariant", inv])
+        out = capsys.readouterr().out
+        values.add(out.strip().splitlines()[-1])
+    assert len(values) == 1  # all invariants print the same count
+
+
+def test_count_spmv_strategy(konect_file, capsys):
+    assert main(["count", konect_file, "--strategy", "spmv"]) == 0
+    assert "spmv" in capsys.readouterr().out
+
+
+def test_count_rejects_bad_invariant(konect_file):
+    with pytest.raises(SystemExit):
+        main(["count", konect_file, "--invariant", "9"])
+
+
+def test_peel_tip(konect_file, capsys):
+    assert main(["peel", konect_file, "--k", "1"]) == 0
+    assert "-tip" in capsys.readouterr().out
+
+
+def test_peel_wing(konect_file, capsys):
+    assert main(["peel", konect_file, "--k", "1", "--mode", "wing"]) == 0
+    assert "-wing" in capsys.readouterr().out
+
+
+def test_peel_requires_k(konect_file):
+    with pytest.raises(SystemExit):
+        main(["peel", konect_file])
+
+
+def test_info_json(konect_file, capsys):
+    import json
+
+    assert main(["info", konect_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_edges"] == 40
+    assert "butterflies" in payload and "clustering_c4" in payload
+
+
+def test_count_json(konect_file, capsys):
+    import json
+
+    assert main(["count", konect_file, "--json", "--invariant", "3"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["invariant"] == "3"
+    assert isinstance(payload["butterflies"], int)
+
+
+def test_decompose_tip(konect_file, capsys):
+    assert main(["decompose", konect_file, "--mode", "tip", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "tip numbers" in out and "max tip number" in out
+
+
+def test_decompose_wing(konect_file, capsys):
+    assert main(["decompose", konect_file, "--mode", "wing"]) == 0
+    out = capsys.readouterr().out
+    assert "wing numbers" in out and "max wing number" in out
+
+
+def test_decompose_right_side(konect_file, capsys):
+    assert main(["decompose", konect_file, "--side", "right"]) == 0
+    assert "right side" in capsys.readouterr().out
+
+
+def test_generate_roundtrip(tmp_path, capsys):
+    out_file = str(tmp_path / "generated.konect")
+    assert main([
+        "generate", out_file,
+        "--n-left", "20", "--n-right", "30", "--edges", "100",
+        "--model", "uniform", "--seed", "5",
+    ]) == 0
+    assert "wrote" in capsys.readouterr().out
+    from repro.graphs import load_konect
+
+    g = load_konect(out_file)
+    assert g.shape == (20, 30) and g.n_edges == 100
+
+
+def test_generate_powerlaw(tmp_path):
+    out_file = str(tmp_path / "pl.konect")
+    assert main([
+        "generate", out_file,
+        "--n-left", "25", "--n-right", "25", "--edges", "120",
+    ]) == 0
+    from repro.graphs import load_konect
+
+    assert load_konect(out_file).shape == (25, 25)
+
+
+def test_algorithms_listing(capsys):
+    assert main(["algorithms"]) == 0
+    out = capsys.readouterr().out
+    assert "inv1-adjacency-unblocked" in out
+    assert "56 members" in out
+
+
+def test_algorithms_filtered(capsys):
+    assert main(["algorithms", "--executor", "blocked"]) == 0
+    out = capsys.readouterr().out
+    assert "8 members" in out
+    assert "panel" in out
+
+
+def test_algorithms_run_agreement(konect_file, capsys):
+    assert main(["algorithms", "--executor", "blocked",
+                 "--run", konect_file]) == 0
+    out = capsys.readouterr().out
+    assert "all agree:" in out
+
+
+def test_bench_smallest_dataset(capsys):
+    assert main(["bench", "--dataset", "arxiv"]) == 0
+    out = capsys.readouterr().out
+    assert "Inv. 1" in out and "Inv. 8" in out
+    assert "butterflies:" in out

@@ -1,0 +1,113 @@
+"""Unit tests for the shared compressed-pattern machinery."""
+
+import numpy as np
+import pytest
+
+from repro.sparsela import PatternCSR, compress_pairs, expand_indptr
+
+
+def test_compress_pairs_sorts_and_dedups():
+    major = np.array([1, 0, 1, 1])
+    minor = np.array([2, 0, 2, 1])
+    indptr, indices = compress_pairs(major, minor, 2, 3)
+    assert indptr.tolist() == [0, 1, 3]
+    assert indices.tolist() == [0, 1, 2]
+
+
+def test_compress_pairs_empty():
+    indptr, indices = compress_pairs(
+        np.array([], dtype=np.int64), np.array([], dtype=np.int64), 4, 5
+    )
+    assert indptr.tolist() == [0, 0, 0, 0, 0]
+    assert indices.size == 0
+
+
+def test_compress_pairs_out_of_range():
+    with pytest.raises(ValueError, match="major index"):
+        compress_pairs(np.array([5]), np.array([0]), 3, 3)
+    with pytest.raises(ValueError, match="minor index"):
+        compress_pairs(np.array([0]), np.array([5]), 3, 3)
+
+
+def test_expand_indptr_inverse_of_compress():
+    indptr = np.array([0, 2, 2, 5])
+    major = expand_indptr(indptr)
+    assert major.tolist() == [0, 0, 2, 2, 2]
+
+
+def test_expand_indptr_empty():
+    assert expand_indptr(np.array([0])).size == 0
+
+
+def test_validate_accepts_well_formed():
+    m = PatternCSR(np.array([0, 2, 3]), np.array([0, 2, 1]), (2, 3))
+    m.validate()  # should not raise
+
+
+def test_validate_rejects_wrong_indptr_length():
+    with pytest.raises(ValueError, match="indptr length"):
+        PatternCSR(np.array([0, 1]), np.array([0]), (2, 3))
+
+
+def test_validate_rejects_nonzero_start():
+    with pytest.raises(ValueError, match="start at 0"):
+        PatternCSR(np.array([1, 1, 1]), np.array([0]), (2, 3))
+
+
+def test_validate_rejects_decreasing_indptr():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        PatternCSR(np.array([0, 2, 1]), np.array([0, 1]), (2, 3))
+
+
+def test_validate_rejects_bad_nnz():
+    with pytest.raises(ValueError, match="end at nnz"):
+        PatternCSR(np.array([0, 1, 1]), np.array([0, 1]), (2, 3))
+
+
+def test_validate_rejects_unsorted_slice():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        PatternCSR(np.array([0, 2, 2]), np.array([2, 0]), (2, 3))
+
+
+def test_validate_rejects_duplicate_in_slice():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        PatternCSR(np.array([0, 2, 2]), np.array([1, 1]), (2, 3))
+
+
+def test_validate_allows_decrease_at_slice_boundary():
+    # row 0 ends at 2, row 1 starts over at a smaller column id — legal
+    m = PatternCSR(np.array([0, 2, 4]), np.array([1, 2, 0, 1]), (2, 3))
+    assert m.nnz == 4
+
+
+def test_validate_rejects_out_of_range_minor():
+    with pytest.raises(ValueError, match="minor index"):
+        PatternCSR(np.array([0, 1, 1]), np.array([9]), (2, 3))
+
+
+def test_slice_returns_expected_view():
+    m = PatternCSR(np.array([0, 2, 3]), np.array([0, 2, 1]), (2, 3))
+    assert m.slice(0).tolist() == [0, 2]
+    assert m.slice(1).tolist() == [1]
+
+
+def test_degrees_and_minor_degrees():
+    m = PatternCSR(np.array([0, 2, 3]), np.array([0, 2, 0]), (2, 3))
+    assert m.degrees().tolist() == [2, 1]
+    assert m.minor_degrees().tolist() == [2, 0, 1]
+
+
+def test_major_minor_dims():
+    m = PatternCSR.empty((3, 7))
+    assert m.major_dim == 3 and m.minor_dim == 7
+
+
+def test_equality_requires_same_type():
+    csr = PatternCSR.from_pairs([(0, 0)], shape=(1, 1))
+    csc = csr.to_csc()
+    assert csr != csc  # same pattern, different format objects
+
+
+def test_not_hashable():
+    with pytest.raises(TypeError):
+        hash(PatternCSR.empty((1, 1)))

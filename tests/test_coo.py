@@ -1,0 +1,125 @@
+"""Unit tests for the COO pattern matrix."""
+
+import numpy as np
+import pytest
+
+from repro.sparsela import PatternCOO
+
+
+def test_from_pairs_basic():
+    m = PatternCOO.from_pairs([(0, 1), (1, 0)], shape=(2, 2))
+    assert m.shape == (2, 2)
+    assert m.nnz == 2
+    assert m.to_dense().tolist() == [[0, 1], [1, 0]]
+
+
+def test_from_pairs_infers_shape():
+    m = PatternCOO.from_pairs([(2, 3)])
+    assert m.shape == (3, 4)
+
+
+def test_from_pairs_merges_duplicates():
+    m = PatternCOO.from_pairs([(0, 0), (0, 0), (1, 1), (0, 0)], shape=(2, 2))
+    assert m.nnz == 2
+
+
+def test_from_pairs_empty():
+    m = PatternCOO.from_pairs([], shape=(3, 4))
+    assert m.nnz == 0
+    assert m.shape == (3, 4)
+    assert m.to_dense().sum() == 0
+
+
+def test_empty_constructor():
+    m = PatternCOO.empty((5, 6))
+    assert m.nnz == 0 and m.shape == (5, 6)
+
+
+def test_out_of_range_row_rejected():
+    with pytest.raises(ValueError, match="row index"):
+        PatternCOO(np.array([5]), np.array([0]), (3, 3))
+
+
+def test_out_of_range_col_rejected():
+    with pytest.raises(ValueError, match="column index"):
+        PatternCOO(np.array([0]), np.array([7]), (3, 3))
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        PatternCOO(np.array([-1]), np.array([0]), (3, 3))
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError, match="parallel"):
+        PatternCOO(np.array([0, 1]), np.array([0]), (3, 3))
+
+
+def test_negative_shape_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        PatternCOO(np.array([], dtype=np.int64), np.array([], dtype=np.int64), (-1, 3))
+
+
+def test_canonicalize_sorts_row_major():
+    m = PatternCOO(np.array([1, 0, 1]), np.array([0, 1, 1]), (2, 2)).canonicalize()
+    assert m.rows.tolist() == [0, 1, 1]
+    assert m.cols.tolist() == [1, 0, 1]
+    assert m.is_canonical()
+
+
+def test_is_canonical_detects_duplicates():
+    m = PatternCOO(np.array([0, 0]), np.array([1, 1]), (1, 2))
+    assert not m.is_canonical()
+    assert m.canonicalize().is_canonical()
+
+
+def test_transpose_roundtrip():
+    m = PatternCOO.from_pairs([(0, 2), (1, 0), (2, 1)], shape=(3, 3))
+    assert m.T.T == m
+
+
+def test_transpose_shape_and_entries():
+    m = PatternCOO.from_pairs([(0, 1)], shape=(2, 3))
+    t = m.transpose()
+    assert t.shape == (3, 2)
+    assert t.to_dense()[1, 0] == 1
+
+
+def test_from_dense_roundtrip(rng):
+    dense = (rng.random((7, 9)) < 0.3).astype(int)
+    m = PatternCOO.from_dense(dense)
+    assert np.array_equal(m.to_dense(), dense)
+
+
+def test_from_dense_rejects_1d():
+    with pytest.raises(ValueError, match="2-D"):
+        PatternCOO.from_dense(np.array([1, 0, 1]))
+
+
+def test_degrees():
+    m = PatternCOO.from_pairs([(0, 0), (0, 1), (1, 1)], shape=(3, 2))
+    assert m.row_degrees().tolist() == [2, 1, 0]
+    assert m.col_degrees().tolist() == [1, 2]
+
+
+def test_equality_ignores_entry_order():
+    a = PatternCOO(np.array([1, 0]), np.array([0, 0]), (2, 1))
+    b = PatternCOO(np.array([0, 1]), np.array([0, 0]), (2, 1))
+    assert a == b
+
+
+def test_equality_shape_sensitive():
+    a = PatternCOO.from_pairs([(0, 0)], shape=(2, 2))
+    b = PatternCOO.from_pairs([(0, 0)], shape=(3, 2))
+    assert a != b
+
+
+def test_not_hashable():
+    m = PatternCOO.empty((1, 1))
+    with pytest.raises(TypeError):
+        hash(m)
+
+
+def test_repr_mentions_shape_and_nnz():
+    m = PatternCOO.from_pairs([(0, 0)], shape=(2, 2))
+    assert "shape=(2, 2)" in repr(m) and "nnz=1" in repr(m)

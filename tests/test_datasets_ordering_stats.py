@@ -1,0 +1,144 @@
+"""Tests for the dataset registry, vertex orderings, and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_butterflies
+from repro.graphs import (
+    DATASETS,
+    dataset_names,
+    degree_order,
+    gnm_bipartite,
+    graph_stats,
+    load_dataset,
+    order_by_degree,
+    order_side_by_degree,
+    paper_stats,
+    power_law_bipartite,
+    shuffle_labels,
+    wedge_count_left,
+    wedge_count_right,
+)
+from repro.core.spec import wedges_spec
+
+
+# ---------------------------------------------------------------- datasets
+def test_five_datasets_in_paper_order():
+    assert dataset_names() == [
+        "arxiv",
+        "producers",
+        "recordlabels",
+        "occupations",
+        "github",
+    ]
+
+
+def test_dataset_shapes_match_specs():
+    for name, spec in DATASETS.items():
+        g = load_dataset(name)
+        assert g.n_left == spec.n_left
+        assert g.n_right == spec.n_right
+        # Chung–Lu top-up may fall a whisker short of the target
+        assert abs(g.n_edges - spec.n_edges) <= 0.02 * spec.n_edges
+
+
+def test_dataset_caching_returns_same_object():
+    assert load_dataset("arxiv") is load_dataset("arxiv")
+
+
+def test_dataset_side_ratios_match_paper():
+    """The property Section V keys on: which side is smaller."""
+    for name, spec in DATASETS.items():
+        g = load_dataset(name)
+        paper_left_smaller = spec.paper_n_left < spec.paper_n_right
+        assert (g.n_left < g.n_right) == paper_left_smaller, name
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        load_dataset("nope")
+
+
+def test_paper_stats_echo_fig9():
+    s = paper_stats("github")
+    assert s["n_edges"] == 440237
+    assert s["butterflies"] == 50894505
+
+
+# ---------------------------------------------------------------- ordering
+def test_degree_order_ascending():
+    perm = degree_order(np.array([5, 1, 3]))
+    # vertex 1 (deg 1) gets id 0, vertex 2 (deg 3) id 1, vertex 0 id 2
+    assert perm.tolist() == [2, 0, 1]
+
+
+def test_degree_order_descending():
+    perm = degree_order(np.array([5, 1, 3]), descending=True)
+    assert perm.tolist() == [0, 2, 1]
+
+
+def test_degree_order_tie_break_deterministic():
+    perm = degree_order(np.array([2, 2, 2]))
+    assert perm.tolist() == [0, 1, 2]
+
+
+def test_order_by_degree_is_isomorphic():
+    g = power_law_bipartite(40, 60, 300, seed=9)
+    ordered = order_by_degree(g)
+    assert ordered.n_edges == g.n_edges
+    assert count_butterflies(ordered) == count_butterflies(g)
+    # degrees now ascend with vertex id
+    dl = ordered.degrees_left()
+    assert (np.diff(dl) >= 0).all()
+
+
+def test_order_side_by_degree_only_touches_one_side():
+    g = power_law_bipartite(40, 60, 300, seed=9)
+    ordered = order_side_by_degree(g, "right", descending=True)
+    dr = ordered.degrees_right()
+    assert (np.diff(dr) <= 0).all()
+    assert count_butterflies(ordered) == count_butterflies(g)
+
+
+def test_order_side_rejects_bad_side():
+    g = gnm_bipartite(5, 5, 5, seed=0)
+    with pytest.raises(ValueError, match="side"):
+        order_side_by_degree(g, "middle")
+
+
+def test_shuffle_labels_preserves_counts():
+    g = power_law_bipartite(30, 30, 150, seed=10)
+    assert count_butterflies(shuffle_labels(g, seed=3)) == count_butterflies(g)
+
+
+# ------------------------------------------------------------------ stats
+def test_graph_stats_basics():
+    g = gnm_bipartite(10, 20, 50, seed=1)
+    s = graph_stats(g)
+    assert s.n_left == 10 and s.n_right == 20 and s.n_edges == 50
+    assert s.density == pytest.approx(50 / 200)
+    assert s.side_ratio == pytest.approx(0.5)
+    assert s.mean_degree_left == pytest.approx(5.0)
+
+
+def test_graph_stats_empty_graph():
+    from repro.graphs import BipartiteGraph
+
+    s = graph_stats(BipartiteGraph.empty(0, 0))
+    assert s.density == 0.0
+    assert s.side_ratio == float("inf")
+    assert s.max_degree_left == 0
+
+
+def test_wedge_counts_match_spec():
+    g = gnm_bipartite(15, 12, 70, seed=2)
+    assert wedge_count_left(g) == wedges_spec(g)
+    # right-side wedges = left-side wedges of the swapped graph
+    assert wedge_count_right(g) == wedges_spec(g.swap_sides())
+
+
+def test_stats_as_dict_round_trips_fields():
+    g = gnm_bipartite(4, 4, 6, seed=0)
+    d = graph_stats(g).as_dict()
+    assert d["n_edges"] == 6
+    assert set(d) >= {"density", "side_ratio", "wedges_left_endpoints"}

@@ -1,0 +1,112 @@
+"""Tests for the tip-number and wing-number decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.core import k_tip, k_wing, tip_numbers, wing_numbers
+from repro.graphs import BipartiteGraph, planted_bicliques, power_law_bipartite
+from tests.conftest import tiny_named_graphs
+
+
+@pytest.fixture(scope="module")
+def small_graphs():
+    return [
+        ("planted", planted_bicliques(12, 12, 2, 3, 4, background_edges=12, seed=5)),
+        ("powerlaw", power_law_bipartite(25, 30, 120, seed=6)),
+        ("k33", tiny_named_graphs()["k33"]),
+        ("one_butterfly", tiny_named_graphs()["one_butterfly"]),
+        ("path", tiny_named_graphs()["path"]),
+    ]
+
+
+# ----------------------------------------------------------- tip numbers
+def test_tip_numbers_definition(small_graphs):
+    """v is in the k-tip iff tip_number(v) >= k — checked for every k that
+    occurs plus one beyond the maximum."""
+    for name, g in small_graphs:
+        tn = tip_numbers(g, "left")
+        levels = sorted(set(tn.tolist())) + [int(tn.max()) + 1]
+        for k in levels:
+            if k == 0:
+                continue
+            kept = k_tip(g, k, side="left").kept
+            assert np.array_equal(tn >= k, kept), (name, k)
+
+
+def test_tip_numbers_right_side():
+    g = planted_bicliques(12, 12, 2, 3, 4, background_edges=0, seed=5)
+    tn = tip_numbers(g, "right")
+    for k in sorted(set(tn.tolist())):
+        if k == 0:
+            continue
+        assert np.array_equal(tn >= k, k_tip(g, k, side="right").kept), k
+
+
+def test_tip_numbers_butterfly_free():
+    g = tiny_named_graphs()["path"]
+    assert (tip_numbers(g) == 0).all()
+
+
+def test_tip_numbers_k33():
+    g = tiny_named_graphs()["k33"]
+    # all vertices symmetric with 6 butterflies each; the 6-tip is the
+    # whole graph, so every tip number is 6
+    assert tip_numbers(g, "left").tolist() == [6, 6, 6]
+
+
+def test_tip_numbers_bad_side():
+    with pytest.raises(ValueError, match="side"):
+        tip_numbers(tiny_named_graphs()["k33"], "middle")
+
+
+# ---------------------------------------------------------- wing numbers
+def test_wing_numbers_definition(small_graphs):
+    """Edge e is in the k-wing iff wing_number(e) >= k."""
+    for name, g in small_graphs:
+        wn = wing_numbers(g)
+        if not wn:
+            continue
+        levels = sorted(set(wn.values())) + [max(wn.values()) + 1]
+        for k in levels:
+            if k == 0:
+                continue
+            kept_edges = {
+                tuple(map(int, e)) for e in k_wing(g, k).subgraph.edges()
+            }
+            by_number = {e for e, w in wn.items() if w >= k}
+            assert by_number == kept_edges, (name, k)
+
+
+def test_wing_numbers_cover_all_edges(small_graphs):
+    for name, g in small_graphs:
+        wn = wing_numbers(g)
+        assert len(wn) == g.n_edges, name
+
+
+def test_wing_numbers_single_butterfly():
+    g = tiny_named_graphs()["one_butterfly"]
+    wn = wing_numbers(g)
+    assert all(v == 1 for v in wn.values())
+
+
+def test_wing_numbers_k33():
+    g = tiny_named_graphs()["k33"]
+    wn = wing_numbers(g)
+    assert all(v == 4 for v in wn.values())
+
+
+def test_wing_numbers_empty_graph():
+    assert wing_numbers(BipartiteGraph.empty(3, 3)) == {}
+
+
+def test_wing_numbers_bucket_matches_heap(small_graphs):
+    from repro.core import wing_numbers_bucket
+
+    for name, g in small_graphs:
+        assert wing_numbers_bucket(g) == wing_numbers(g), name
+
+
+def test_wing_numbers_bucket_empty():
+    from repro.core import wing_numbers_bucket
+
+    assert wing_numbers_bucket(BipartiteGraph.empty(2, 2)) == {}

@@ -1,0 +1,126 @@
+"""Unit tests for the vectorised kernels."""
+
+import numpy as np
+import pytest
+
+from repro.sparsela import (
+    PatternCSC,
+    PatternCSR,
+    choose2,
+    choose2_sum,
+    gather_slices,
+    multiplicity_counts,
+    segment_sums,
+    spmv_pattern,
+    spmv_pattern_transposed,
+)
+
+
+def _gather_reference(indptr, indices, ids):
+    out = []
+    for i in ids:
+        out.extend(indices[indptr[i] : indptr[i + 1]].tolist())
+    return out
+
+
+def test_gather_slices_matches_python_reference(rng):
+    dense = (rng.random((12, 17)) < 0.3).astype(int)
+    m = PatternCSR.from_dense(dense)
+    for ids in ([0], [3, 3, 1], list(range(12)), [11, 0, 5]):
+        got = gather_slices(m.indptr, m.indices, np.array(ids))
+        assert got.tolist() == _gather_reference(m.indptr, m.indices, ids)
+
+
+def test_gather_slices_empty_ids():
+    m = PatternCSR.from_pairs([(0, 0)], shape=(2, 2))
+    assert gather_slices(m.indptr, m.indices, np.array([], dtype=np.int64)).size == 0
+
+
+def test_gather_slices_all_empty_slices():
+    m = PatternCSR.empty((3, 3))
+    got = gather_slices(m.indptr, m.indices, np.array([0, 1, 2]))
+    assert got.size == 0
+
+
+def test_gather_slices_preserves_order_and_multiplicity():
+    m = PatternCSR.from_pairs([(0, 1), (0, 2), (1, 0)], shape=(2, 3))
+    got = gather_slices(m.indptr, m.indices, np.array([1, 0, 1]))
+    assert got.tolist() == [0, 1, 2, 0]
+
+
+def test_multiplicity_counts():
+    vals, counts = multiplicity_counts(np.array([3, 1, 3, 3, 1]))
+    assert vals.tolist() == [1, 3]
+    assert counts.tolist() == [2, 3]
+
+
+def test_multiplicity_counts_empty():
+    vals, counts = multiplicity_counts(np.array([], dtype=np.int64))
+    assert vals.size == 0 and counts.size == 0
+
+
+def test_choose2_values():
+    assert choose2(np.array([0, 1, 2, 3, 10])).tolist() == [0, 0, 1, 3, 45]
+
+
+def test_choose2_sum():
+    assert choose2_sum(np.array([2, 2, 3])) == 1 + 1 + 3
+    assert choose2_sum(np.array([], dtype=np.int64)) == 0
+    assert choose2_sum(np.array([1])) == 0
+
+
+def test_choose2_sum_returns_python_int():
+    assert isinstance(choose2_sum(np.array([5, 7])), int)
+
+
+def test_choose2_sum_large_values_exact():
+    # would overflow int32: C(10^5, 2) ≈ 5e9
+    assert choose2_sum(np.array([100_000])) == 100_000 * 99_999 // 2
+
+
+@pytest.mark.parametrize("fmt", [PatternCSR, PatternCSC])
+def test_spmv_matches_dense(fmt, rng):
+    dense = (rng.random((8, 11)) < 0.4).astype(int)
+    m = fmt.from_dense(dense)
+    x = rng.integers(0, 5, size=11)
+    assert np.array_equal(spmv_pattern(m, x), dense @ x)
+
+
+@pytest.mark.parametrize("fmt", [PatternCSR, PatternCSC])
+def test_spmv_transposed_matches_dense(fmt, rng):
+    dense = (rng.random((8, 11)) < 0.4).astype(int)
+    m = fmt.from_dense(dense)
+    x = rng.integers(0, 5, size=8)
+    assert np.array_equal(spmv_pattern_transposed(m, x), dense.T @ x)
+
+
+def test_spmv_shape_check():
+    m = PatternCSR.empty((3, 4))
+    with pytest.raises(ValueError, match="shape"):
+        spmv_pattern(m, np.zeros(3))
+    with pytest.raises(ValueError, match="shape"):
+        spmv_pattern_transposed(m, np.zeros(4))
+
+
+def test_spmv_float_input_preserved():
+    m = PatternCSR.from_pairs([(0, 0), (0, 1)], shape=(1, 2))
+    y = spmv_pattern(m, np.array([0.5, 0.25]))
+    assert y.dtype.kind == "f"
+    assert y.tolist() == [0.75]
+
+
+def test_segment_sums_basic():
+    vals = np.array([1, 2, 3, 4, 5])
+    indptr = np.array([0, 2, 2, 5])
+    assert segment_sums(vals, indptr).tolist() == [3, 0, 12]
+
+
+def test_segment_sums_empty_values():
+    assert segment_sums(np.array([]), np.array([0, 0, 0])).tolist() == [0, 0]
+
+
+def test_segment_sums_bool_values_promote():
+    vals = np.array([True, True, False])
+    out = segment_sums(vals, np.array([0, 3]))
+    assert out.tolist() == [2]
+    assert out.dtype == np.int64

@@ -1,0 +1,81 @@
+"""Tests for butterfly-derived clustering metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_butterflies
+from repro.graphs import BipartiteGraph, power_law_bipartite
+from repro.metrics import (
+    bipartite_clustering_coefficient,
+    caterpillar_count,
+    local_clustering_left,
+)
+from tests.conftest import tiny_named_graphs
+
+
+def _caterpillars_bruteforce(g: BipartiteGraph) -> int:
+    """Paths of length 3 counted by walking all edges."""
+    total = 0
+    for u, v in g.edges():
+        total += (g.degrees_left()[u] - 1) * (g.degrees_right()[v] - 1)
+    return int(total)
+
+
+def test_caterpillar_count_matches_bruteforce(corpus):
+    for name, g in corpus:
+        assert caterpillar_count(g) == _caterpillars_bruteforce(g), name
+
+
+def test_caterpillars_on_known_graphs():
+    graphs = tiny_named_graphs()
+    # the 5-vertex path v1₀–v2₀–v1₁–v2₁–v1₂ contains two length-3 paths
+    assert caterpillar_count(graphs["path"]) == 2
+    assert caterpillar_count(graphs["one_butterfly"]) == 4
+    assert caterpillar_count(graphs["star_left"]) == 0
+
+
+def test_complete_bipartite_clustering_is_one():
+    for m, n in [(2, 2), (3, 4), (5, 5)]:
+        g = BipartiteGraph.complete(m, n)
+        assert bipartite_clustering_coefficient(g) == pytest.approx(1.0)
+
+
+def test_butterfly_free_graph_clustering_zero():
+    g = tiny_named_graphs()["path"]
+    assert bipartite_clustering_coefficient(g) == 0.0
+
+
+def test_empty_graph_clustering_zero():
+    assert bipartite_clustering_coefficient(BipartiteGraph.empty(3, 3)) == 0.0
+
+
+def test_clustering_in_unit_interval(corpus):
+    for name, g in corpus:
+        cc = bipartite_clustering_coefficient(g)
+        assert 0.0 <= cc <= 1.0, name
+
+
+def test_clustering_accepts_precomputed_count():
+    g = power_law_bipartite(50, 60, 250, seed=8)
+    count = count_butterflies(g)
+    assert bipartite_clustering_coefficient(g, butterflies=count) == (
+        bipartite_clustering_coefficient(g)
+    )
+
+
+def test_local_clustering_bounds(corpus):
+    for name, g in corpus:
+        local = local_clustering_left(g)
+        assert local.shape == (g.n_left,)
+        assert (local >= 0).all() and (local <= 1.0 + 1e-9).all(), name
+
+
+def test_local_clustering_complete_graph():
+    g = BipartiteGraph.complete(3, 3)
+    assert np.allclose(local_clustering_left(g), 1.0)
+
+
+def test_local_clustering_isolated_vertex_zero():
+    g = BipartiteGraph([(1, 0), (1, 1)], n_left=3, n_right=2)
+    local = local_clustering_left(g)
+    assert local[0] == 0.0 and local[2] == 0.0

@@ -1,0 +1,198 @@
+"""Tests for the parallel counting executors and the load balancer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    balanced_ranges,
+    count_butterflies,
+    count_butterflies_parallel,
+    pivot_work_estimate,
+)
+from repro.core.family import Side
+from tests.conftest import tiny_named_graphs
+
+
+# ----------------------------------------------------------- range splitting
+def test_balanced_ranges_cover_everything():
+    work = np.array([5, 1, 1, 1, 5, 1, 1, 1, 5, 1])
+    ranges = balanced_ranges(work, 3)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(10))
+
+
+def test_balanced_ranges_are_disjoint_and_ordered():
+    work = np.arange(20)
+    ranges = balanced_ranges(work, 4)
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+        assert a_hi == b_lo
+
+
+def test_balanced_ranges_balance_quality():
+    """No chunk should carry more than ~2 chunks' fair share + one item."""
+    rng = np.random.default_rng(0)
+    work = rng.integers(1, 100, size=200)
+    ranges = balanced_ranges(work, 8)
+    sums = [work[lo:hi].sum() for lo, hi in ranges]
+    fair = work.sum() / 8
+    assert max(sums) <= 2 * fair + work.max()
+
+
+def test_balanced_ranges_zero_work():
+    ranges = balanced_ranges(np.zeros(10), 3)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(10))
+
+
+def test_balanced_ranges_more_chunks_than_items():
+    ranges = balanced_ranges(np.array([1, 1]), 10)
+    assert len(ranges) <= 2
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == [0, 1]
+
+
+def test_balanced_ranges_empty():
+    assert balanced_ranges(np.array([]), 4) == []
+
+
+def test_pivot_work_estimate_is_exact_wedge_count(medium_graph):
+    pm, co = medium_graph.csc, medium_graph.csr
+    work = pivot_work_estimate(pm, co)
+    # total work = total wedge expansions = sum over entries of row degrees
+    expected_total = int(np.sum(np.diff(co.indptr)[pm.indices]))
+    assert int(work.sum()) == expected_total
+    # spot check one pivot by hand
+    pivot = int(np.argmax(np.diff(pm.indptr)))
+    nbrs = pm.slice(pivot)
+    assert work[pivot] == np.diff(co.indptr)[nbrs].sum()
+
+
+# ----------------------------------------------------------------- executors
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_executors_match_sequential(executor, corpus):
+    for name, g in corpus:
+        assert count_butterflies_parallel(
+            g, n_workers=3, executor=executor
+        ) == count_butterflies(g), (name, executor)
+
+
+def test_process_executor_matches(medium_graph):
+    expected = count_butterflies(medium_graph)
+    got = count_butterflies_parallel(
+        medium_graph, n_workers=2, executor="process"
+    )
+    assert got == expected
+
+
+def test_side_override():
+    g = tiny_named_graphs()["k23"]
+    for side in ("columns", "rows", Side.COLUMNS, Side.ROWS):
+        assert count_butterflies_parallel(g, n_workers=2, side=side,
+                                          executor="serial") == 3
+
+
+def test_single_worker_shortcuts_to_serial():
+    g = tiny_named_graphs()["k33"]
+    assert count_butterflies_parallel(g, n_workers=1, executor="process") == 9
+
+
+def test_empty_graph_parallel():
+    from repro.graphs import BipartiteGraph
+
+    assert count_butterflies_parallel(
+        BipartiteGraph.empty(4, 4), executor="serial"
+    ) == 0
+
+
+def test_invalid_executor():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="executor"):
+        count_butterflies_parallel(g, executor="gpu")
+
+
+def test_invalid_worker_count():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="n_workers"):
+        count_butterflies_parallel(g, n_workers=0)
+
+
+@pytest.mark.parametrize("invariant", range(1, 9))
+@pytest.mark.parametrize("strategy", ["adjacency", "spmv"])
+def test_parallel_per_invariant_grid(invariant, strategy, medium_graph):
+    """Each Fig. 11 cell: any invariant × strategy parallelises exactly."""
+    expected = count_butterflies(medium_graph)
+    got = count_butterflies_parallel(
+        medium_graph,
+        n_workers=2,
+        executor="serial",
+        invariant=invariant,
+        strategy=strategy,
+    )
+    assert got == expected
+
+
+def test_parallel_invariant_through_process_pool(medium_graph):
+    expected = count_butterflies(medium_graph)
+    assert count_butterflies_parallel(
+        medium_graph, n_workers=2, executor="process", invariant=5,
+        strategy="spmv",
+    ) == expected
+
+
+def test_parallel_invariant_through_thread_pool(medium_graph):
+    expected = count_butterflies(medium_graph)
+    assert count_butterflies_parallel(
+        medium_graph, n_workers=2, executor="thread", invariant=4,
+        strategy="spmv",
+    ) == expected
+
+
+def test_parallel_invalid_strategy():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="strategy"):
+        count_butterflies_parallel(g, strategy="magic")
+
+
+@pytest.mark.parametrize("side", ["left", "right"])
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_vertex_counts_parallel(side, executor, medium_graph):
+    from repro.core import (
+        vertex_butterfly_counts,
+        vertex_butterfly_counts_parallel,
+    )
+
+    ref = vertex_butterfly_counts(medium_graph, side)
+    got = vertex_butterfly_counts_parallel(
+        medium_graph, side, n_workers=2, executor=executor
+    )
+    assert np.array_equal(got, ref)
+
+
+def test_vertex_counts_parallel_validation(medium_graph):
+    from repro.core import vertex_butterfly_counts_parallel
+
+    with pytest.raises(ValueError, match="executor"):
+        vertex_butterfly_counts_parallel(medium_graph, executor="gpu")
+    with pytest.raises(ValueError, match="side"):
+        vertex_butterfly_counts_parallel(medium_graph, side="up")
+    with pytest.raises(ValueError, match="n_workers"):
+        vertex_butterfly_counts_parallel(medium_graph, n_workers=0,
+                                         executor="serial")
+
+
+def test_vertex_counts_parallel_empty_graph():
+    from repro.core import vertex_butterfly_counts_parallel
+    from repro.graphs import BipartiteGraph
+
+    out = vertex_butterfly_counts_parallel(
+        BipartiteGraph.empty(4, 4), executor="serial"
+    )
+    assert out.tolist() == [0, 0, 0, 0]
+
+
+def test_chunks_per_worker_does_not_change_result(medium_graph):
+    expected = count_butterflies(medium_graph)
+    for cpw in (1, 2, 8):
+        assert count_butterflies_parallel(
+            medium_graph, n_workers=2, executor="thread", chunks_per_worker=cpw
+        ) == expected

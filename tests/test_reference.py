@@ -1,0 +1,82 @@
+"""Tests for the pure-Python reference transliterations."""
+
+import numpy as np
+import pytest
+
+from repro.core import count_butterflies, k_tip, k_wing
+from repro.reference import (
+    butterflies_reference,
+    butterflies_reference_all_invariants,
+    k_tip_reference,
+    k_wing_reference,
+)
+from tests.conftest import TINY_EXPECTED, tiny_named_graphs
+
+
+@pytest.mark.parametrize("invariant", range(1, 9))
+def test_reference_on_hand_verified(invariant):
+    for name, g in tiny_named_graphs().items():
+        assert butterflies_reference(g, invariant) == TINY_EXPECTED[name], (
+            name,
+            invariant,
+        )
+
+
+def test_reference_all_invariants_equal(corpus):
+    for name, g in corpus[:6]:
+        counts = butterflies_reference_all_invariants(g)
+        assert len(set(counts)) == 1, name
+        assert counts[0] == count_butterflies(g), name
+
+
+def test_reference_rejects_bad_invariant():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="1..8"):
+        butterflies_reference(g, 0)
+
+
+def test_reference_tip_matches_fast(corpus):
+    for name, g in corpus[:5]:
+        if g.n_left > 40:
+            continue
+        for k in (0, 1, 5):
+            ref = k_tip_reference(g, k, side="left")
+            fast = k_tip(g, k, side="left").kept
+            assert np.array_equal(np.array(ref), fast), (name, k)
+
+
+def test_reference_tip_right_side():
+    g = tiny_named_graphs()["k23"]
+    ref = k_tip_reference(g, 2, side="right")
+    fast = k_tip(g, 2, side="right").kept
+    assert np.array_equal(np.array(ref), fast)
+
+
+def test_reference_tip_validation():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="non-negative"):
+        k_tip_reference(g, -1)
+    with pytest.raises(ValueError, match="side"):
+        k_tip_reference(g, 1, side="up")
+
+
+def test_reference_wing_matches_fast(corpus):
+    for name, g in corpus[:5]:
+        if g.n_left > 40:
+            continue
+        for k in (1, 3):
+            ref = k_wing_reference(g, k)
+            fast = {tuple(map(int, e)) for e in k_wing(g, k).subgraph.edges()}
+            assert ref == fast, (name, k)
+
+
+def test_reference_wing_k33():
+    g = tiny_named_graphs()["k33"]
+    assert len(k_wing_reference(g, 4)) == 9
+    assert k_wing_reference(g, 5) == set()
+
+
+def test_reference_wing_validation():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="non-negative"):
+        k_wing_reference(g, -1)

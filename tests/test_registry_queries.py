@@ -1,0 +1,135 @@
+"""Tests for the algorithm registry, threshold queries, and top pairs."""
+
+import pytest
+
+from repro.core import (
+    AlgorithmSpec,
+    algorithm_names,
+    all_algorithms,
+    count_butterflies,
+    get_algorithm,
+    has_at_least,
+    top_butterfly_pairs,
+)
+from repro.graphs import BipartiteGraph, planted_bicliques, power_law_bipartite
+from tests.conftest import TINY_EXPECTED, tiny_named_graphs
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_cardinality():
+    # 8 invariants × (3 unblocked + 1 blocked + 3 parallel) = 56
+    assert len(all_algorithms()) == 56
+    assert len(algorithm_names()) == 56
+
+
+def test_registry_filters():
+    assert len(all_algorithms(executor="unblocked")) == 24
+    assert len(all_algorithms(executor="blocked")) == 8
+    assert len(all_algorithms(executor="parallel")) == 24
+    assert len(all_algorithms(strategy="spmv")) == 16
+    assert len(all_algorithms(invariant=3)) == 7
+    assert len(all_algorithms(executor="unblocked", strategy="scratch",
+                              invariant=7)) == 1
+
+
+def test_registry_names_are_self_describing():
+    spec = get_algorithm("inv4-scratch-unblocked")
+    assert isinstance(spec, AlgorithmSpec)
+    assert spec.invariant.number == 4
+    assert spec.strategy == "scratch"
+    assert spec.executor == "unblocked"
+
+
+def test_registry_unknown_name_suggests():
+    with pytest.raises(KeyError, match="inv4"):
+        get_algorithm("inv4-warp-speed")
+
+
+def test_entire_registry_agrees_on_one_graph():
+    """Every one of the 48 registered members returns the same count."""
+    g = power_law_bipartite(60, 80, 350, seed=44)
+    expected = count_butterflies(g)
+    for spec in all_algorithms():
+        assert spec(g) == expected, spec.name
+
+
+def test_registry_subset_on_tiny_graphs(tiny_graphs):
+    members = [
+        get_algorithm("inv1-adjacency-unblocked"),
+        get_algorithm("inv6-spmv-unblocked"),
+        get_algorithm("inv3-panel-blocked"),
+        get_algorithm("inv8-adjacency-parallel"),
+    ]
+    for name, g in tiny_graphs.items():
+        for spec in members:
+            assert spec(g) == TINY_EXPECTED[name], (name, spec.name)
+
+
+# ---------------------------------------------------------- has_at_least
+def test_has_at_least_exactness(corpus):
+    for name, g in corpus[:6]:
+        total = count_butterflies(g)
+        assert has_at_least(g, total) is True, name
+        assert has_at_least(g, total + 1) is False, name
+
+
+def test_has_at_least_trivial_threshold():
+    g = BipartiteGraph.empty(3, 3)
+    assert has_at_least(g, 0)
+    assert has_at_least(g, -5)
+    assert not has_at_least(g, 1)
+
+
+def test_has_at_least_explicit_invariant():
+    g = tiny_named_graphs()["k33"]
+    for inv in (1, 4, 5, 8):
+        assert has_at_least(g, 9, invariant=inv)
+        assert not has_at_least(g, 10, invariant=inv)
+
+
+def test_has_at_least_early_exit_observable():
+    """On a butterfly-dense graph the early exit answers without a full
+    sweep — verified by timing it against the full count."""
+    import time
+
+    g = BipartiteGraph.complete(150, 150)
+    t0 = time.perf_counter()
+    assert has_at_least(g, 10)
+    early = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    count_butterflies(g)
+    full = time.perf_counter() - t0
+    assert early < full
+
+
+# ------------------------------------------------------- top pairs
+def test_top_pairs_on_planted():
+    g = planted_bicliques(20, 20, 2, 3, 4, background_edges=0, seed=1)
+    top = top_butterfly_pairs(g, 10, side="left")
+    # within each K_{3,4}, every left pair closes C(4,2) = 6 butterflies;
+    # 2 cliques × C(3,2) pairs = 6 pairs total, all with count 6
+    assert len(top) == 6
+    assert all(c == 6 for _, c in top)
+
+
+def test_top_pairs_sorted_and_capped():
+    g = power_law_bipartite(40, 50, 250, seed=2)
+    top = top_butterfly_pairs(g, 5)
+    assert len(top) <= 5
+    counts = [c for _, c in top]
+    assert counts == sorted(counts, reverse=True)
+    assert all(c >= 1 for c in counts)
+
+
+def test_top_pairs_right_side():
+    g = tiny_named_graphs()["k23"]
+    top = top_butterfly_pairs(g, 10, side="right")
+    # right pairs of K_{2,3}: C(3,2)=3 pairs, each closing C(2,2)=1
+    assert len(top) == 3 and all(c == 1 for _, c in top)
+
+
+def test_top_pairs_validation_and_empty():
+    g = BipartiteGraph.empty(3, 3)
+    assert top_butterfly_pairs(g, 4) == []
+    with pytest.raises(ValueError, match="non-negative"):
+        top_butterfly_pairs(g, -1)

@@ -1,0 +1,112 @@
+"""Tests for evaluation-run persistence and comparison."""
+
+import pytest
+
+from repro.bench import (
+    Sweep,
+    TimedResult,
+    compare_runs,
+    load_run,
+    save_run,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+
+
+def _sweep(title, cells):
+    s = Sweep(title=title)
+    for (row, col), (sec, val) in cells.items():
+        s.record(row, col, TimedResult(label=f"{row}/{col}", seconds=sec, value=val))
+    return s
+
+
+def test_sweep_dict_roundtrip():
+    s = _sweep("t", {("a", "X"): (0.5, 42), ("a", "Y"): (1.5, 42)})
+    restored = sweep_from_dict(sweep_to_dict(s))
+    assert restored.title == "t"
+    assert restored.rows == ["a"] and restored.columns == ["X", "Y"]
+    assert restored.get("a", "X").seconds == 0.5
+    assert restored.get("a", "Y").value == 42
+
+
+def test_non_int_values_dropped_in_serialisation():
+    s = _sweep("t", {("a", "X"): (0.5, object())})
+    payload = sweep_to_dict(s)
+    assert payload["cells"][0]["value"] is None
+
+
+def test_schema_version_checked():
+    with pytest.raises(ValueError, match="schema"):
+        sweep_from_dict({"schema": 99, "title": "x", "rows": [], "columns": [],
+                         "cells": []})
+
+
+def test_save_load_run(tmp_path):
+    runs = {
+        "fig10": _sweep("fig10", {("d1", "Inv. 1"): (1.0, 7)}),
+        "fig11": _sweep("fig11", {("d1", "Inv. 1"): (0.5, 7)}),
+    }
+    path = tmp_path / "run.json"
+    save_run(runs, path)
+    loaded = load_run(path)
+    assert set(loaded) == {"fig10", "fig11"}
+    assert loaded["fig11"].get("d1", "Inv. 1").seconds == 0.5
+
+
+def test_load_run_rejects_bad_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": 0, "sweeps": {}}')
+    with pytest.raises(ValueError, match="schema"):
+        load_run(path)
+
+
+def test_compare_runs_ratios():
+    base = _sweep("base", {("d", "A"): (1.0, 5), ("d", "B"): (2.0, 5)})
+    other = _sweep("new", {("d", "A"): (0.5, 5), ("d", "B"): (4.0, 5)})
+    cmpn = compare_runs(base, other)
+    assert cmpn.ratios[("d", "A")] == pytest.approx(0.5)
+    assert cmpn.ratios[("d", "B")] == pytest.approx(2.0)
+    assert cmpn.geometric_mean() == pytest.approx(1.0)
+    assert "0.50x" in cmpn.render() and "2.00x" in cmpn.render()
+
+
+def test_compare_runs_detects_result_mismatch():
+    base = _sweep("base", {("d", "A"): (1.0, 5)})
+    other = _sweep("new", {("d", "A"): (1.0, 6)})
+    with pytest.raises(ValueError, match="disagree"):
+        compare_runs(base, other)
+
+
+def test_compare_runs_partial_overlap():
+    base = _sweep("base", {("d", "A"): (1.0, 5), ("e", "A"): (1.0, 1)})
+    other = _sweep("new", {("d", "A"): (2.0, 5), ("d", "Z"): (1.0, 9)})
+    cmpn = compare_runs(base, other)
+    assert list(cmpn.ratios) == [("d", "A")]
+
+
+def test_compare_runs_zero_base_time():
+    base = _sweep("base", {("d", "A"): (0.0, 5)})
+    other = _sweep("new", {("d", "A"): (1.0, 5)})
+    cmpn = compare_runs(base, other)
+    assert cmpn.ratios[("d", "A")] is None
+    assert "-" in cmpn.render()
+
+
+def test_end_to_end_with_real_sweep(tmp_path):
+    """Record a real (tiny) counting sweep, reload, self-compare ⇒ 1.0×."""
+    from repro.bench import time_callable
+    from repro.core import count_butterflies_unblocked
+    from repro.graphs import load_dataset
+
+    g = load_dataset("arxiv")
+    sweep = Sweep(title="mini")
+    for inv in (1, 2):
+        res = time_callable(
+            lambda inv=inv: count_butterflies_unblocked(g, inv), repeats=1
+        )
+        sweep.record("arxiv", f"Inv. {inv}", res)
+    path = tmp_path / "mini.json"
+    save_run({"mini": sweep}, path)
+    reloaded = load_run(path)["mini"]
+    cmpn = compare_runs(sweep, reloaded)
+    assert cmpn.geometric_mean() == pytest.approx(1.0)

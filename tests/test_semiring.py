@@ -1,0 +1,213 @@
+"""Tests for the GraphBLAS-style semiring layer."""
+
+import numpy as np
+import pytest
+
+from repro.sparsela import PatternCSC, PatternCSR
+from repro.sparsela.semiring import (
+    ANY_PAIR,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    ValuedCSR,
+    ewise_mult,
+    gram,
+    mxm,
+    reduce_scalar,
+    tril,
+    triu,
+)
+
+
+@pytest.fixture()
+def ab(rng):
+    a = (rng.random((7, 5)) < 0.4).astype(int)
+    b = (rng.random((5, 9)) < 0.4).astype(int)
+    return a, b
+
+
+def test_plus_times_matches_dense(ab):
+    a, b = ab
+    got = mxm(PatternCSR.from_dense(a), PatternCSR.from_dense(b), PLUS_TIMES)
+    assert np.array_equal(got.to_dense(), a @ b)
+
+
+def test_plus_pair_on_patterns_equals_plus_times(ab):
+    """For 0/1 operands pair ≡ times — structural intersection counting."""
+    a, b = ab
+    pa, pb = PatternCSR.from_dense(a), PatternCSR.from_dense(b)
+    assert np.array_equal(
+        mxm(pa, pb, PLUS_PAIR).to_dense(), mxm(pa, pb, PLUS_TIMES).to_dense()
+    )
+
+
+def test_any_pair_is_boolean_reachability(ab):
+    a, b = ab
+    got = mxm(PatternCSR.from_dense(a), PatternCSR.from_dense(b), ANY_PAIR)
+    assert np.array_equal(got.to_dense(), (a @ b > 0).astype(int))
+
+
+def test_mxm_accepts_csc_operands(ab):
+    a, b = ab
+    got = mxm(PatternCSC.from_dense(a), PatternCSC.from_dense(b))
+    assert np.array_equal(got.to_dense(), a @ b)
+
+
+def test_mxm_shape_mismatch():
+    a = PatternCSR.from_dense(np.ones((2, 3), dtype=int))
+    b = PatternCSR.from_dense(np.ones((4, 2), dtype=int))
+    with pytest.raises(ValueError, match="inner dimensions"):
+        mxm(a, b)
+
+
+def test_mxm_rejects_bad_type():
+    with pytest.raises(TypeError):
+        mxm(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_mxm_with_mask(ab):
+    a, b = ab
+    mask_dense = (a @ b) % 2 == 1  # arbitrary pattern
+    mask = PatternCSR.from_dense(mask_dense.astype(int))
+    got = mxm(PatternCSR.from_dense(a), PatternCSR.from_dense(b), mask=mask)
+    assert np.array_equal(got.to_dense(), (a @ b) * mask_dense)
+
+
+def test_mxm_mask_shape_check(ab):
+    a, b = ab
+    bad_mask = PatternCSR.from_dense(np.ones((2, 2), dtype=int))
+    with pytest.raises(ValueError, match="mask shape"):
+        mxm(PatternCSR.from_dense(a), PatternCSR.from_dense(b), mask=bad_mask)
+
+
+def test_mxm_with_complement_mask(ab):
+    a, b = ab
+    mask_dense = ((a @ b) % 2 == 1).astype(int)
+    mask = PatternCSR.from_dense(mask_dense)
+    got = mxm(
+        PatternCSR.from_dense(a),
+        PatternCSR.from_dense(b),
+        mask=mask,
+        complement_mask=True,
+    )
+    assert np.array_equal(got.to_dense(), (a @ b) * (1 - mask_dense))
+
+
+def test_mxm_complement_without_mask_is_everything(ab):
+    a, b = ab
+    got = mxm(
+        PatternCSR.from_dense(a),
+        PatternCSR.from_dense(b),
+        complement_mask=True,
+    )
+    assert np.array_equal(got.to_dense(), a @ b)
+
+
+def test_mxm_mask_and_complement_partition_the_product(ab):
+    a, b = ab
+    mask = PatternCSR.from_dense(((a @ b) % 3 == 0).astype(int))
+    pa, pb = PatternCSR.from_dense(a), PatternCSR.from_dense(b)
+    kept = mxm(pa, pb, mask=mask).to_dense()
+    dropped = mxm(pa, pb, mask=mask, complement_mask=True).to_dense()
+    assert np.array_equal(kept + dropped, a @ b)
+
+
+def test_mxm_empty_operands():
+    a = PatternCSR.empty((3, 4))
+    b = PatternCSR.empty((4, 2))
+    got = mxm(a, b)
+    assert got.nnz == 0 and got.shape == (3, 2)
+
+
+def test_gram_is_wedge_matrix(rng):
+    a = (rng.random((8, 6)) < 0.5).astype(int)
+    got = gram(PatternCSR.from_dense(a))
+    assert np.array_equal(got.to_dense(), a @ a.T)
+
+
+def test_gram_diagonal_is_degrees(rng):
+    a = (rng.random((8, 6)) < 0.5).astype(int)
+    got = gram(PatternCSR.from_dense(a))
+    assert np.array_equal(got.diagonal(), a.sum(axis=1))
+
+
+def test_gram_rejects_valued_input():
+    v = ValuedCSR(
+        np.array([0, 1]), np.array([0]), np.array([2]), (1, 1)
+    )
+    with pytest.raises(TypeError):
+        gram(v)
+
+
+def test_triu_tril(rng):
+    a = (rng.random((6, 4)) < 0.6).astype(int)
+    b = gram(PatternCSR.from_dense(a))
+    assert np.array_equal(triu(b).to_dense(), np.triu(a @ a.T, 1))
+    assert np.array_equal(tril(b).to_dense(), np.tril(a @ a.T, -1))
+
+
+def test_ewise_mult_apply():
+    v = ValuedCSR(np.array([0, 2]), np.array([0, 1]), np.array([3, 4]), (1, 2))
+    doubled = ewise_mult(v, lambda x: 2 * x)
+    assert doubled.values.tolist() == [6, 8]
+    assert v.values.tolist() == [3, 4]  # original untouched
+
+
+def test_reduce_scalar():
+    v = ValuedCSR(np.array([0, 2]), np.array([0, 1]), np.array([3, 4]), (1, 2))
+    assert reduce_scalar(v) == 7
+
+
+def test_no_explicit_zeros_in_output(rng):
+    a = (rng.random((6, 5)) < 0.5).astype(int)
+    b = (rng.random((5, 6)) < 0.5).astype(int)
+    got = mxm(PatternCSR.from_dense(a), PatternCSR.from_dense(b))
+    assert (got.values != 0).all()
+
+
+def test_matmul_operator_sugar(rng):
+    """`A @ B` on pattern matrices dispatches to the plus_times mxm."""
+    a = (rng.random((5, 4)) < 0.5).astype(int)
+    b = (rng.random((4, 6)) < 0.5).astype(int)
+    pa, pb = PatternCSR.from_dense(a), PatternCSR.from_dense(b)
+    got = pa @ pb
+    assert np.array_equal(got.to_dense(), a @ b)
+    # CSC operands work too (converted internally)
+    assert np.array_equal((PatternCSC.from_dense(a) @ pb).to_dense(), a @ b)
+
+
+def test_matmul_operator_rejects_garbage():
+    pa = PatternCSR.from_dense(np.eye(2, dtype=int))
+    with pytest.raises(TypeError):
+        pa @ "nonsense"
+
+
+def test_mxm_associativity(rng):
+    """(A·B)·C = A·(B·C) over plus_times — the algebraic property the
+    trace-rotation steps of the derivation implicitly rely on."""
+    a = (rng.random((5, 4)) < 0.5).astype(int)
+    b = (rng.random((4, 6)) < 0.5).astype(int)
+    c = (rng.random((6, 3)) < 0.5).astype(int)
+    pa, pb, pc = map(PatternCSR.from_dense, (a, b, c))
+    ab = mxm(pa, pb, PLUS_TIMES)
+    bc = mxm(pb, pc, PLUS_TIMES)
+    left = mxm(ab, pc, PLUS_TIMES)
+    right = mxm(pa, bc, PLUS_TIMES)
+    assert np.array_equal(left.to_dense(), right.to_dense())
+    assert np.array_equal(left.to_dense(), a @ b @ c)
+
+
+def test_mxm_valued_operands(rng):
+    """ValuedCSR inputs (products of products) multiply correctly."""
+    a = (rng.random((4, 4)) < 0.6).astype(int)
+    pa = PatternCSR.from_dense(a)
+    sq = mxm(pa, pa, PLUS_TIMES)
+    fourth = mxm(sq, sq, PLUS_TIMES)
+    assert np.array_equal(fourth.to_dense(), np.linalg.matrix_power(a, 4))
+
+
+def test_row_indices_sorted(rng):
+    a = (rng.random((10, 8)) < 0.5).astype(int)
+    got = gram(PatternCSR.from_dense(a))
+    for i in range(10):
+        cols, _ = got.row(i)
+        assert (np.diff(cols) > 0).all() if cols.size > 1 else True

@@ -1,0 +1,111 @@
+"""Tests for the dense linear-algebra specification (Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import (
+    butterflies_spec,
+    butterflies_spec_adjacency,
+    butterflies_spec_trace,
+    butterflies_spec_upper,
+    pairwise_butterfly_matrix,
+    partitioned_spec_columns,
+    partitioned_spec_rows,
+    wedges_spec,
+)
+from tests.conftest import TINY_EXPECTED, tiny_named_graphs
+
+
+@pytest.mark.parametrize("name", sorted(TINY_EXPECTED))
+def test_spec_on_hand_verified_graphs(name):
+    g = tiny_named_graphs()[name]
+    assert butterflies_spec(g) == TINY_EXPECTED[name]
+
+
+def test_three_spec_formulas_agree(corpus):
+    """Eqs. (1), (2), and (7) are linked by the derivation; they must agree."""
+    for name, g in corpus:
+        upper = butterflies_spec_upper(g)
+        trace = butterflies_spec_trace(g)
+        adjacency = butterflies_spec_adjacency(g)
+        assert upper == trace == adjacency, name
+
+
+def test_spec_accepts_dense_matrix():
+    a = np.array([[1, 1], [1, 1]])
+    assert butterflies_spec(a) == 1
+
+
+def test_spec_rejects_non_binary_matrix():
+    with pytest.raises(ValueError, match="0/1"):
+        butterflies_spec(np.array([[2, 0], [0, 1]]))
+
+
+def test_spec_rejects_bad_ndim():
+    with pytest.raises(ValueError, match="2-D"):
+        butterflies_spec(np.array([1, 0]))
+
+
+def test_pairwise_matrix_structure():
+    g = tiny_named_graphs()["k23"]
+    c = pairwise_butterfly_matrix(g)
+    # between the two left vertices: C(3, 2) = 3 butterflies
+    assert c[0, 1] == 3 and c[1, 0] == 3
+    # diagonal: C(deg, 2) line pairs
+    assert c[0, 0] == 3
+
+
+def test_wedges_spec_on_known_graphs():
+    graphs = tiny_named_graphs()
+    assert wedges_spec(graphs["k23"]) == 3  # each right vertex: C(2,2)=1
+    assert wedges_spec(graphs["star_left"]) == 0  # no two left endpoints
+    assert wedges_spec(graphs["star_right"]) == 10  # C(5,2)
+
+
+def test_partitioned_columns_sums_to_total(corpus):
+    """Eq. (8): Ξ_G = Ξ_L + Ξ_LR + Ξ_R for every split point."""
+    for name, g in corpus:
+        total = butterflies_spec(g)
+        for split in {0, 1, g.n_right // 2, g.n_right}:
+            parts = partitioned_spec_columns(g, split)
+            assert sum(parts) == total, (name, split)
+
+
+def test_partitioned_rows_sums_to_total(corpus):
+    """Eq. (11): Ξ_G = Ξ_T + Ξ_TB + Ξ_B for every split point."""
+    for name, g in corpus:
+        total = butterflies_spec(g)
+        for split in {0, 1, g.n_left // 2, g.n_left}:
+            parts = partitioned_spec_rows(g, split)
+            assert sum(parts) == total, (name, split)
+
+
+def test_partitioned_degenerate_splits():
+    g = tiny_named_graphs()["k33"]
+    left, cross, right = partitioned_spec_columns(g, 0)
+    assert left == 0 and cross == 0 and right == 9
+    left, cross, right = partitioned_spec_columns(g, g.n_right)
+    assert left == 9 and cross == 0 and right == 0
+
+
+def test_partitioned_split_bounds_checked():
+    g = tiny_named_graphs()["k23"]
+    with pytest.raises(ValueError, match="split"):
+        partitioned_spec_columns(g, -1)
+    with pytest.raises(ValueError, match="split"):
+        partitioned_spec_rows(g, 99)
+
+
+def test_partitioned_k33_middle_split_categories():
+    """Hand check: K_{3,3} split 2|1 on columns.
+
+    Ξ_L = pairs among 2 columns = C(2,2)·C(3,2) = 3; Ξ_R = 0 (one column
+    can't form a wedge pair); Ξ_LR = 2·1·C(3,2) = 6.
+    """
+    g = tiny_named_graphs()["k33"]
+    assert partitioned_spec_columns(g, 2) == (3, 6, 0)
+
+
+def test_spec_swap_sides_invariance(corpus):
+    for name, g in corpus:
+        assert butterflies_spec(g) == butterflies_spec(g.swap_sides()), name

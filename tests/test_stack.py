@@ -1,0 +1,105 @@
+"""Tests for pattern-matrix stacking (the materialised partitionings)."""
+
+import numpy as np
+import pytest
+
+from repro.core import butterflies_spec, count_butterflies
+from repro.graphs import BipartiteGraph, gnm_bipartite
+from repro.sparsela import (
+    PatternCOO,
+    PatternCSC,
+    PatternCSR,
+    hstack_patterns,
+    vstack_patterns,
+)
+
+
+@pytest.fixture()
+def dense(rng):
+    return (rng.random((7, 10)) < 0.35).astype(int)
+
+
+def test_hstack_matches_numpy(dense, rng):
+    other = (rng.random((7, 4)) < 0.5).astype(int)
+    got = hstack_patterns([
+        PatternCSR.from_dense(dense), PatternCSR.from_dense(other)
+    ])
+    assert np.array_equal(got.to_dense(), np.hstack([dense, other]))
+
+
+def test_vstack_matches_numpy(dense, rng):
+    other = (rng.random((3, 10)) < 0.5).astype(int)
+    got = vstack_patterns([
+        PatternCSR.from_dense(dense), PatternCSR.from_dense(other)
+    ])
+    assert np.array_equal(got.to_dense(), np.vstack([dense, other]))
+
+
+def test_stack_accepts_mixed_formats(dense):
+    a = PatternCSR.from_dense(dense)
+    b = PatternCSC.from_dense(dense)
+    c = PatternCOO.from_dense(dense)
+    got = hstack_patterns([a, b, c])
+    assert np.array_equal(got.to_dense(), np.hstack([dense] * 3))
+
+
+def test_hstack_inverts_column_partitioning(dense):
+    """A → (A_L | A_R) via select_cols, then hstack back — the paper's
+    partitioning as a data round-trip."""
+    a = PatternCSC.from_dense(dense)
+    s = 4
+    left = a.select_cols(np.arange(s))
+    right = a.select_cols(np.arange(s, dense.shape[1]))
+    assert np.array_equal(
+        hstack_patterns([left, right]).to_dense(), dense
+    )
+
+
+def test_vstack_inverts_row_partitioning(dense):
+    a = PatternCSR.from_dense(dense)
+    s = 3
+    top = a.select_rows(np.arange(s))
+    bottom = a.select_rows(np.arange(s, dense.shape[0]))
+    assert np.array_equal(
+        vstack_patterns([top, bottom]).to_dense(), dense
+    )
+
+
+def test_stacked_partitions_preserve_counts():
+    """Splitting and restacking never changes Ξ_G."""
+    g = gnm_bipartite(15, 20, 90, seed=3)
+    a = g.csc
+    for split in (0, 7, 20):
+        left = a.select_cols(np.arange(split))
+        right = a.select_cols(np.arange(split, 20))
+        rebuilt = BipartiteGraph.from_csr(hstack_patterns([left, right]))
+        assert count_butterflies(rebuilt) == butterflies_spec(g)
+
+
+def test_stack_dimension_mismatch():
+    a = PatternCSR.empty((3, 4))
+    b = PatternCSR.empty((2, 4))
+    with pytest.raises(ValueError, match="row counts"):
+        hstack_patterns([a, b])
+    c = PatternCSR.empty((3, 5))
+    with pytest.raises(ValueError, match="column counts"):
+        vstack_patterns([a, c])
+
+
+def test_stack_empty_blocklist():
+    with pytest.raises(ValueError, match="at least one"):
+        hstack_patterns([])
+    with pytest.raises(ValueError, match="at least one"):
+        vstack_patterns([])
+
+
+def test_stack_rejects_garbage():
+    with pytest.raises(TypeError):
+        hstack_patterns([np.zeros((2, 2))])
+
+
+def test_stack_of_empty_blocks():
+    a = PatternCSR.empty((4, 0))
+    b = PatternCSR.empty((4, 3))
+    got = hstack_patterns([a, b])
+    assert got.shape == (4, 3) and got.nnz == 0

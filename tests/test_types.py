@@ -1,0 +1,51 @@
+"""Unit tests for repro._types."""
+
+import numpy as np
+import pytest
+
+from repro._types import COUNT_DTYPE, INDEX_DTYPE, as_index_array
+
+
+def test_index_dtype_is_int64():
+    assert INDEX_DTYPE == np.int64
+    assert COUNT_DTYPE == np.int64
+
+
+def test_as_index_array_from_list():
+    arr = as_index_array([1, 2, 3])
+    assert arr.dtype == np.int64
+    assert arr.tolist() == [1, 2, 3]
+
+
+def test_as_index_array_casts_int32():
+    src = np.array([4, 5], dtype=np.int32)
+    arr = as_index_array(src)
+    assert arr.dtype == np.int64
+    assert arr.tolist() == [4, 5]
+
+
+def test_as_index_array_empty():
+    arr = as_index_array([])
+    assert arr.size == 0
+    assert arr.dtype == np.int64
+
+
+def test_as_index_array_rejects_2d():
+    with pytest.raises(ValueError, match="1-D"):
+        as_index_array([[1, 2], [3, 4]])
+
+
+def test_as_index_array_copy_flag():
+    src = np.array([1, 2, 3], dtype=np.int64)
+    no_copy = as_index_array(src)
+    forced = as_index_array(src, copy=True)
+    src[0] = 99
+    assert no_copy[0] == 99  # view/shared
+    assert forced[0] == 1  # independent
+
+
+def test_as_index_array_contiguous():
+    src = np.arange(10, dtype=np.int64)[::2]
+    arr = as_index_array(src)
+    assert arr.flags["C_CONTIGUOUS"]
+    assert arr.tolist() == [0, 2, 4, 6, 8]

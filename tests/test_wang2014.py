@@ -1,0 +1,82 @@
+"""Tests for the Wang et al. 2014 baseline family."""
+
+import pytest
+
+from repro.baselines import (
+    count_butterflies_wang_baseline,
+    count_butterflies_wang_partitioned,
+    count_butterflies_wang_space_efficient,
+)
+from repro.core import count_butterflies
+from tests.conftest import TINY_EXPECTED, tiny_named_graphs
+
+
+def test_wang_baseline_on_hand_verified(tiny_graphs):
+    for name, g in tiny_graphs.items():
+        assert count_butterflies_wang_baseline(g) == TINY_EXPECTED[name], name
+
+
+def test_wang_space_efficient_on_hand_verified(tiny_graphs):
+    for name, g in tiny_graphs.items():
+        assert count_butterflies_wang_space_efficient(g) == (
+            TINY_EXPECTED[name]
+        ), name
+
+
+def test_wang_variants_on_corpus(corpus):
+    for name, g in corpus:
+        expected = count_butterflies(g)
+        assert count_butterflies_wang_baseline(g) == expected, name
+        assert count_butterflies_wang_space_efficient(g) == expected, name
+
+
+@pytest.mark.parametrize("budget", [1, 3, 10, 10_000])
+def test_wang_partitioned_exact_for_any_budget(budget, corpus):
+    for name, g in corpus[:6]:
+        res = count_butterflies_wang_partitioned(g, memory_budget=budget)
+        assert res.butterflies == count_butterflies(g), (name, budget)
+
+
+def test_wang_partitioned_partition_arithmetic():
+    from repro.graphs import gnm_bipartite
+
+    g = gnm_bipartite(20, 15, 80, seed=1)
+    res = count_butterflies_wang_partitioned(g, memory_budget=7)
+    # ceil(20 / 7) = 3 partitions; C(3,2)+3 = 6 partition pairs
+    assert res.n_partitions == 3
+    assert res.partition_pairs == 6
+
+
+def test_wang_partitioned_budget_bounds_working_set():
+    """Smaller budget ⇒ smaller peak working set (the variant's point)."""
+    from repro.graphs import power_law_bipartite
+
+    g = power_law_bipartite(60, 80, 400, seed=3)
+    small = count_butterflies_wang_partitioned(g, memory_budget=10)
+    large = count_butterflies_wang_partitioned(g, memory_budget=60)
+    assert small.peak_working_set <= large.peak_working_set
+    # a budget of b vertices bounds live pairs by b² per partition pair
+    assert small.peak_working_set <= 10 * 10
+
+
+def test_wang_partitioned_single_partition_degenerates():
+    from repro.graphs import gnm_bipartite
+
+    g = gnm_bipartite(12, 12, 60, seed=4)
+    res = count_butterflies_wang_partitioned(g, memory_budget=100)
+    assert res.n_partitions == 1 and res.partition_pairs == 1
+
+
+def test_wang_partitioned_validation():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="memory_budget"):
+        count_butterflies_wang_partitioned(g, memory_budget=0)
+
+
+def test_wang_empty_graph():
+    from repro.graphs import BipartiteGraph
+
+    g = BipartiteGraph.empty(4, 4)
+    assert count_butterflies_wang_baseline(g) == 0
+    assert count_butterflies_wang_space_efficient(g) == 0
+    assert count_butterflies_wang_partitioned(g, 2).butterflies == 0

@@ -1,0 +1,85 @@
+"""Tests for the declarative FLAME worksheets."""
+
+import numpy as np
+import pytest
+
+from repro.core import butterflies_spec, count_butterflies_unblocked
+from repro.core.family import INVARIANTS, Reference
+from repro.flame import Worksheet, run_worksheet, worksheet_for
+from tests.conftest import TINY_EXPECTED, tiny_named_graphs
+
+
+@pytest.mark.parametrize("number", range(1, 9))
+def test_worksheet_counts_tiny_graphs(number):
+    for name, g in tiny_named_graphs().items():
+        got = run_worksheet(g.biadjacency_dense(), number)
+        assert got == TINY_EXPECTED[name], (name, number)
+
+
+@pytest.mark.parametrize("number", range(1, 9))
+def test_worksheet_matches_fast_family(number, corpus):
+    for name, g in corpus[:5]:
+        a = g.biadjacency_dense()
+        assert run_worksheet(a, number) == count_butterflies_unblocked(
+            g, number
+        ), (name, number)
+
+
+def test_worksheet_invariant_checking_is_exercised(corpus):
+    """check_invariant=True must assert at every step without failing on a
+    correct worksheet, and complete with the right total."""
+    name, g = corpus[3]
+    a = g.biadjacency_dense()
+    assert run_worksheet(a, 2, check_invariant=True) == butterflies_spec(g)
+
+
+def test_worksheet_without_checks_same_result(corpus):
+    name, g = corpus[2]
+    a = g.biadjacency_dense()
+    assert run_worksheet(a, 7, check_invariant=False) == run_worksheet(a, 7)
+
+
+def test_worksheet_for_metadata():
+    ws = worksheet_for(4)
+    assert isinstance(ws, Worksheet)
+    assert ws.invariant is INVARIANTS[4]
+    assert ws.precondition == 0
+    assert ws.invariant.reference is Reference.SUFFIX
+
+
+def test_worksheet_for_accepts_invariant_object():
+    ws = worksheet_for(INVARIANTS[6])
+    assert ws.invariant.number == 6
+
+
+def test_worksheet_update_functions_directly():
+    """The update callables implement eq. (18): Σ C((A_refᵀ a₁)_u, 2)."""
+    ws_prefix = worksheet_for(1)
+    ws_suffix = worksheet_for(2)
+    a0 = np.array([[1, 1], [1, 0], [0, 1]])
+    a1 = np.array([1, 1, 0])
+    a2 = np.array([[1], [1], [1]])
+    # y = A0ᵀ a1 = [2, 1] -> C(2,2)+C(1,2) = 1
+    assert ws_prefix.update(a0, a1, a2) == 1
+    # y = A2ᵀ a1 = [2] -> 1
+    assert ws_suffix.update(a0, a1, a2) == 1
+
+
+def test_worksheet_update_empty_partitions():
+    ws = worksheet_for(1)
+    a1 = np.array([1, 1])
+    empty = np.zeros((2, 0), dtype=int)
+    assert ws.update(empty, a1, empty) == 0
+
+
+def test_worksheet_empty_matrix():
+    assert run_worksheet(np.zeros((0, 0), dtype=int), 1) == 0
+    assert run_worksheet(np.zeros((3, 4), dtype=int), 5) == 0
+
+
+def test_worksheet_invariant_value_endpoints(corpus):
+    name, g = corpus[0]
+    a = g.biadjacency_dense()
+    ws = worksheet_for(3)
+    assert ws.invariant_value(a, 0) == 0
+    assert ws.invariant_value(a, g.n_right) == butterflies_spec(g)
