@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables report examples clean all
+.PHONY: install test bench bench-quick bench-tables report examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable seed-vs-shared dispatch overhead (BENCH_parallel.json).
+bench-quick:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -q

@@ -62,6 +62,7 @@ from repro.graphs import (
     save_konect,
 )
 from repro.metrics import bipartite_clustering_coefficient, caterpillar_count
+from repro.parallel import ButterflyExecutor
 
 __version__ = "1.0.0"
 
@@ -72,6 +73,7 @@ __all__ = [
     "count_butterflies_unblocked",
     "count_butterflies_blocked",
     "count_butterflies_parallel",
+    "ButterflyExecutor",
     "butterflies_spec",
     "Invariant",
     "Side",

@@ -1,0 +1,184 @@
+"""Seed-vs-shared parallel dispatch benchmark (writes ``BENCH_parallel.json``).
+
+Measures the *per-call dispatch overhead* of the two process-parallel
+paths on a ≥10⁵-edge generated graph:
+
+- **seed** (``executor="process"``): a fresh ``ProcessPoolExecutor`` per
+  call, graph arrays shipped through the pool initializer.  Per-call cost
+  = pool startup + array transport + teardown (under ``fork`` the
+  transport rides copy-on-write; under ``spawn`` it is an
+  ``O(workers · nnz)`` pickle — either way it is paid *every call*).
+- **shared** (:class:`~repro.parallel.ButterflyExecutor`): a warm pool
+  attached zero-copy to one published shared-memory segment.  Per-call
+  cost = a handful of ``(meta, side, reference, strategy, lo, hi)`` task
+  tuples.
+
+Dispatch overhead is isolated as ``t_path − t_inproc`` where ``t_inproc``
+runs the *identical* chunked sweep in-process (an ``n_workers=1``
+executor, which short-circuits to serial), clamped at a timing-noise
+floor.  The measurement graph is wide but shallow (few pivots, ≥10⁵
+edges) so transport and pool costs dominate compute; a power-law
+*throughput* section on a second ≥10⁵-edge graph is recorded alongside
+for context.
+
+Run as::
+
+    python -m repro.bench.parallel_bench --out BENCH_parallel.json
+
+(the ``make bench-quick`` target), or call :func:`run_benchmark` from the
+benchmark suite (``benchmarks/test_parallel_sharedmem.py`` asserts the
+ISSUE's ≥2× overhead-reduction criterion on the payload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core import count_butterflies_parallel
+from repro.graphs import gnm_bipartite, power_law_bipartite
+from repro.parallel import ButterflyExecutor
+
+__all__ = ["run_benchmark", "main", "OVERHEAD_FLOOR_SECONDS"]
+
+#: Timer-noise floor for overhead estimates (seconds).  Overheads are
+#: clamped here from below so a ratio never divides by jitter.
+OVERHEAD_FLOOR_SECONDS = 5e-4
+
+
+def _best_of(fn, repeats: int):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _dispatch_overhead_section(n_workers: int, repeats: int) -> dict:
+    """The criterion measurement: wide sparse graph, compute ≈ tens of ms."""
+    g = gnm_bipartite(400, 200_000, 150_000, seed=11)
+
+    with ButterflyExecutor(n_workers=1) as ex1:
+        t_inproc, expected = _best_of(lambda: ex1.count(g), repeats)
+
+    t_seed, v_seed = _best_of(
+        lambda: count_butterflies_parallel(
+            g, n_workers=n_workers, executor="process"
+        ),
+        repeats,
+    )
+    assert v_seed == expected, "seed process path disagrees"
+
+    with ButterflyExecutor(n_workers=n_workers) as ex:
+        warm_value = ex.count(g)  # warm-up: starts pool, publishes segment
+        assert warm_value == expected, "shared path disagrees"
+        t_shared, v_shared = _best_of(lambda: ex.count(g), repeats)
+        telemetry = {
+            "pool_starts": ex.pool_starts,
+            "publish_count": ex.publish_count,
+            "dispatch_count": ex.dispatch_count,
+        }
+    assert v_shared == expected
+
+    overhead_seed = max(t_seed - t_inproc, OVERHEAD_FLOOR_SECONDS)
+    overhead_shared = max(t_shared - t_inproc, OVERHEAD_FLOOR_SECONDS)
+    return {
+        "graph": {
+            "generator": "gnm_bipartite(400, 200000, 150000, seed=11)",
+            "n_left": g.n_left,
+            "n_right": g.n_right,
+            "n_edges": g.n_edges,
+            "butterflies": expected,
+        },
+        "seconds_inproc": t_inproc,
+        "seconds_seed_per_call": t_seed,
+        "seconds_shared_warm_per_call": t_shared,
+        "overhead_seed_seconds": overhead_seed,
+        "overhead_shared_seconds": overhead_shared,
+        "overhead_ratio": overhead_seed / overhead_shared,
+        "executor_telemetry": telemetry,
+    }
+
+
+def _throughput_section(n_workers: int, repeats: int) -> dict:
+    """Context: end-to-end per-call times on a butterfly-heavy graph."""
+    g = power_law_bipartite(3_000, 4_000, 150_000, seed=7)
+
+    with ButterflyExecutor(n_workers=1) as ex1:
+        t_serial, expected = _best_of(lambda: ex1.count(g), repeats)
+    t_seed, v_seed = _best_of(
+        lambda: count_butterflies_parallel(
+            g, n_workers=n_workers, executor="process"
+        ),
+        repeats,
+    )
+    with ButterflyExecutor(n_workers=n_workers) as ex:
+        ex.count(g)
+        t_shared, v_shared = _best_of(lambda: ex.count(g), repeats)
+    assert v_seed == expected and v_shared == expected
+    return {
+        "graph": {
+            "generator": "power_law_bipartite(3000, 4000, 150000, seed=7)",
+            "n_edges": g.n_edges,
+            "butterflies": expected,
+        },
+        "seconds_serial": t_serial,
+        "seconds_seed_per_call": t_seed,
+        "seconds_shared_warm_per_call": t_shared,
+    }
+
+
+def run_benchmark(
+    n_workers: int = 2, repeats: int = 5, throughput: bool = True
+) -> dict:
+    """Run both sections and return the JSON-ready payload."""
+    payload = {
+        "benchmark": "parallel_sharedmem_dispatch",
+        "n_workers": n_workers,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "dispatch_overhead": _dispatch_overhead_section(n_workers, repeats),
+    }
+    if throughput:
+        payload["throughput"] = _throughput_section(n_workers, repeats)
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.parallel_bench",
+        description="Measure seed-vs-shared parallel dispatch overhead.",
+    )
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="output JSON path (default: BENCH_parallel.json)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--no-throughput", action="store_true",
+                        help="skip the power-law throughput section")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        n_workers=args.workers,
+        repeats=args.repeats,
+        throughput=not args.no_throughput,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    d = payload["dispatch_overhead"]
+    print(f"wrote {args.out}")
+    print(f"per-call dispatch overhead ({args.workers} workers, "
+          f"{d['graph']['n_edges']} edges):")
+    print(f"  seed process pool : {d['overhead_seed_seconds'] * 1e3:8.2f} ms/call")
+    print(f"  shared warm pool  : {d['overhead_shared_seconds'] * 1e3:8.2f} ms/call")
+    print(f"  ratio             : {d['overhead_ratio']:8.1f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -72,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument(
         "--strategy", choices=("adjacency", "scratch", "spmv"), default="adjacency"
     )
+    p_count.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="count in parallel over N workers (default: sequential)",
+    )
+    p_count.add_argument(
+        "--executor",
+        choices=("shared", "process", "thread", "serial"),
+        default="shared",
+        help="parallel executor used with --workers (default: shared — "
+        "zero-copy shared-memory buffers on a warm process pool)",
+    )
 
     p_peel = sub.add_parser("peel", help="k-tip / k-wing subgraph extraction")
     p_peel.add_argument("graph")
@@ -143,26 +157,46 @@ def _cmd_info(args) -> int:
 
 def _cmd_count(args) -> int:
     g = _load(args.graph)
-    if args.invariant is None:
+    if args.workers is not None:
+        from repro.core import count_butterflies_parallel
+
+        result = count_butterflies_parallel(
+            g,
+            n_workers=args.workers,
+            executor=args.executor,
+            invariant=args.invariant,
+            strategy=args.strategy,
+        )
+        if args.invariant is None:
+            chosen = 2 if g.n_right <= g.n_left else 6
+            invariant_desc = f"auto (chose side of {chosen})"
+        else:
+            invariant_desc = str(args.invariant)
+        mode = f"parallel ({args.workers} workers, {args.executor})"
+    elif args.invariant is None:
         result = count_butterflies(g, strategy=args.strategy)
         chosen = 2 if g.n_right <= g.n_left else 6
         invariant_desc = f"auto (chose {chosen})"
+        mode = "sequential"
     else:
         result = count_butterflies_unblocked(
             g, args.invariant, strategy=args.strategy
         )
         invariant_desc = str(args.invariant)
+        mode = "sequential"
     if args.json:
         import json
 
         print(json.dumps({
             "invariant": invariant_desc,
             "strategy": args.strategy,
+            "mode": mode,
             "butterflies": result,
         }))
         return 0
     print(f"invariant  : {invariant_desc}")
     print(f"strategy   : {args.strategy}")
+    print(f"mode       : {mode}")
     print(f"butterflies: {result}")
     return 0
 

@@ -20,6 +20,19 @@ so summing over consecutive panels counts each pair exactly once, and the
 per-pair contribution C(wedges(u,v), 2) is computed from the full wedge
 multiset exactly as in the unblocked algorithm.  The prefix (look-behind)
 blocked member is symmetric.
+
+Two execution knobs, both ablatable:
+
+- ``method`` selects the panel reduction (see
+  :data:`repro.sparsela.PANEL_REDUCTIONS`): the seed's sort-based
+  ``np.unique`` (``"sort"``), the fused sort-free ``"bincount"`` /
+  ``"scratch"`` kernels, or ``"auto"``.
+- ``work_budget`` switches from fixed vertex-count panels to
+  *work-adaptive* panels sized by the exact per-pivot wedge-expansion
+  estimate (:func:`~repro.core.parallel.pivot_work_estimate`).  On
+  hub-heavy power-law graphs a fixed ``block_size`` makes the transient
+  wedge working set swing by orders of magnitude between panels; a wedge
+  budget bounds it.
 """
 
 from __future__ import annotations
@@ -35,10 +48,49 @@ from repro.core.family import (
     _resolve_invariant,
 )
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import gather_slices
+from repro.sparsela import gather_slices, panel_choose2_sum
 from repro.sparsela._compressed import CompressedPattern
 
-__all__ = ["count_butterflies_blocked", "panel_butterflies"]
+__all__ = [
+    "count_butterflies_blocked",
+    "panel_butterflies",
+    "work_bounded_panels",
+    "DEFAULT_PANEL_WORK_BUDGET",
+]
+
+#: Default wedge-work budget per adaptive panel (≈ transient endpoints
+#: materialised per iteration); chosen so a panel's gather output stays
+#: comfortably L2/L3-resident (2²⁰ int64 endpoints = 8 MiB).
+DEFAULT_PANEL_WORK_BUDGET: int = 1 << 20
+
+
+def work_bounded_panels(work: np.ndarray, budget: int) -> list[tuple[int, int]]:
+    """Contiguous panels ``[lo, hi)`` whose total ``work`` is ≤ ``budget``.
+
+    Greedy left-to-right cut: each panel takes pivots until adding the
+    next would exceed the budget; a pivot whose own work exceeds the
+    budget gets a singleton panel (the budget bounds *transient* memory,
+    and a single pivot's wedge list is irreducible).  The panels tile
+    ``range(len(work))`` exactly.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    work = np.asarray(work, dtype=np.int64)
+    n = len(work)
+    if n == 0:
+        return []
+    csum = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(work, out=csum[1:])
+    panels: list[tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        # furthest hi with csum[hi] - csum[lo] <= budget, at least lo+1
+        hi = int(np.searchsorted(csum, csum[lo] + budget, side="right")) - 1
+        hi = max(hi, lo + 1)
+        hi = min(hi, n)
+        panels.append((lo, hi))
+        lo = hi
+    return panels
 
 
 def panel_butterflies(
@@ -47,6 +99,8 @@ def panel_butterflies(
     lo: int,
     hi: int,
     reference: Reference,
+    method: str = "auto",
+    scratch: np.ndarray | None = None,
 ) -> int:
     """Butterfly contribution of the pivot panel ``[lo, hi)``.
 
@@ -56,9 +110,13 @@ def panel_butterflies(
     the positional predicate, so consecutive panels tile Ξ_G exactly.
 
     Implementation: one :func:`gather_slices` fetches the wedge endpoints
-    of *all* pivots in the panel; endpoints are keyed by
-    ``pivot_local * n + endpoint`` so a single ``np.unique`` produces every
-    per-pair wedge count in the panel at once.
+    of *all* pivots in the panel; the (pivot, endpoint) multiset is then
+    reduced by :func:`repro.sparsela.panel_choose2_sum` — sort-free by
+    default (``method="auto"`` picks a dense key-space ``bincount`` when
+    it is small, the Chiba–Nishizeki scratch accumulator otherwise), with
+    ``method="sort"`` keeping the seed's ``np.unique`` reduction as the
+    ablation baseline.  ``scratch`` optionally passes a reusable zeroed
+    length-``n`` accumulator through to the scratch path.
     """
     if hi <= lo:
         return 0
@@ -82,16 +140,18 @@ def panel_butterflies(
     if not sel.any():
         return 0
     n = pivot_major.major_dim
-    keys = (owners[sel] - lo) * np.int64(n) + endpoints[sel]
-    _, counts = np.unique(keys, return_counts=True)
-    counts = counts.astype(np.int64)
-    return int(np.sum(counts * (counts - 1)) // 2)
+    return panel_choose2_sum(
+        owners[sel] - lo, endpoints[sel], hi - lo, n,
+        method=method, scratch=scratch,
+    )
 
 
 def count_butterflies_blocked(
     graph: BipartiteGraph,
     invariant=2,
     block_size: int = 64,
+    method: str = "auto",
+    work_budget: int | None = None,
 ) -> int:
     """Count butterflies with the blocked member of the chosen invariant.
 
@@ -107,6 +167,16 @@ def count_butterflies_blocked(
         Panel width b ≥ 1.  ``b = 1`` degenerates to the unblocked
         algorithm (used by the equivalence tests); larger panels trade a
         transient ``O(panel wedges)`` working set for fewer iterations.
+        Ignored when ``work_budget`` is given.
+    method:
+        Panel reduction (see :data:`repro.sparsela.PANEL_REDUCTIONS`);
+        ``"auto"`` is sort-free, ``"sort"`` is the seed behaviour.
+    work_budget:
+        When given, panels are sized *adaptively* so each panel expands at
+        most ≈ ``work_budget`` wedges (exact per-pivot estimate from
+        :func:`~repro.core.parallel.pivot_work_estimate`), instead of a
+        fixed pivot count — bounding transient memory on hub-heavy
+        power-law graphs where a fixed-width panel can explode.
 
     Returns
     -------
@@ -119,12 +189,22 @@ def count_butterflies_blocked(
     pivot_major, complementary = _matrices_for_side(graph, inv.side)
     n = pivot_major.major_dim
     total = 0
-    boundaries = list(range(0, n, block_size)) + [n]
-    panels = [
-        (boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
-    ]
+    if work_budget is not None:
+        from repro.core.parallel import pivot_work_estimate
+
+        work = pivot_work_estimate(pivot_major, complementary)
+        panels = work_bounded_panels(work, work_budget)
+    else:
+        boundaries = list(range(0, n, block_size)) + [n]
+        panels = [
+            (boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)
+        ]
     if inv.traversal is Traversal.BACKWARD:
         panels.reverse()
+    scratch = np.zeros(n, dtype=np.int64)
     for lo, hi in panels:
-        total += panel_butterflies(pivot_major, complementary, lo, hi, inv.reference)
+        total += panel_butterflies(
+            pivot_major, complementary, lo, hi, inv.reference,
+            method=method, scratch=scratch,
+        )
     return total

@@ -85,6 +85,7 @@ __all__ = [
     "ALL_INVARIANTS",
     "count_butterflies_unblocked",
     "count_butterflies",
+    "has_at_least",
     "pivot_order",
     "wedge_endpoint_multiset",
     "suffix_wedge_butterflies",
@@ -379,27 +380,66 @@ def count_butterflies_unblocked(
 STRATEGIES: tuple[str, ...] = ("adjacency", "scratch", "spmv")
 
 
-def has_at_least(graph: BipartiteGraph, threshold: int, invariant=None) -> bool:
+def has_at_least(
+    graph: BipartiteGraph,
+    threshold: int,
+    invariant=None,
+    strategy: str = "adjacency",
+    on_step: Callable[[int, int, int], None] | None = None,
+) -> bool:
     """Decide Ξ_G ≥ threshold, stopping as soon as the answer is known.
 
-    Runs the auto-selected (or given) family member and returns True the
-    moment the running total reaches ``threshold`` — on butterfly-rich
-    graphs this inspects a small prefix of the sweep.  ``threshold <= 0``
-    is trivially True.  Exact: a False return means the full sweep ran
-    and Ξ_G < threshold.
+    Runs the auto-selected (or given) family member under the chosen
+    ``strategy`` (``"adjacency"``, ``"scratch"`` or ``"spmv"`` — the same
+    three the counting entry points accept) and returns True the moment
+    the running total reaches ``threshold`` — on butterfly-rich graphs
+    this inspects a small prefix of the sweep.  ``threshold <= 0`` is
+    trivially True.  Exact: a False return means the full sweep ran and
+    Ξ_G < threshold.
+
+    ``on_step`` mirrors :func:`count_butterflies_unblocked`: invoked after
+    every *executed* pivot with ``(step_index, pivot, running_total)``, so
+    tests (and progress meters) can observe exactly where the sweep
+    stopped.
     """
     if threshold <= 0:
         return True
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
     if invariant is None:
         invariant = 2 if graph.n_right <= graph.n_left else 6
     inv = _resolve_invariant(invariant)
     pivot_major, complementary = _matrices_for_side(graph, inv.side)
     n = pivot_major.major_dim
+    if strategy == "scratch":
+        scratch = np.zeros(n, dtype=np.int64)
+
+        def step(pivot: int) -> int:
+            return _butterflies_at_pivot_scratch(
+                pivot_major, complementary, pivot, inv.reference, scratch
+            )
+    elif strategy == "spmv":
+        entry_major_ids = expand_indptr(pivot_major.indptr)
+        marker = np.zeros(pivot_major.minor_dim, dtype=bool)
+
+        def step(pivot: int) -> int:
+            return _butterflies_at_pivot_spmv(
+                pivot_major, entry_major_ids, marker, pivot, inv.reference
+            )
+    else:  # adjacency
+
+        def step(pivot: int) -> int:
+            return _butterflies_at_pivot_adjacency(
+                pivot_major, complementary, pivot, inv.reference
+            )
+
     total = 0
-    for pivot in pivot_order(n, inv.traversal):
-        total += _butterflies_at_pivot_adjacency(
-            pivot_major, complementary, pivot, inv.reference
-        )
+    for step_index, pivot in enumerate(pivot_order(n, inv.traversal)):
+        total += step(pivot)
+        if on_step is not None:
+            on_step(step_index, pivot, total)
         if total >= threshold:
             return True
     return False

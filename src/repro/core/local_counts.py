@@ -117,18 +117,23 @@ def vertex_butterfly_counts_blocked(
 
 
 def vertex_counts_panel(
-    pivot_major, complementary, lo: int, hi: int
+    pivot_major, complementary, lo: int, hi: int, method: str = "auto"
 ) -> np.ndarray:
     """Per-vertex butterfly counts for pivots ``[lo, hi)`` — one panel.
 
     The unit of work behind both the blocked and the parallel per-vertex
     kernels: each pivot's count depends only on its own wedge expansion,
-    so disjoint panels are independent.
+    so disjoint panels are independent.  The (pivot, endpoint) multiset is
+    reduced by :func:`repro.sparsela.panel_choose2_per_owner` — sort-free
+    under ``method="auto"``, with ``method="sort"`` keeping the seed's
+    ``np.unique`` reduction for ablation.
     """
-    n = pivot_major.major_dim
-    out = np.zeros(hi - lo, dtype=COUNT_DTYPE)
+    from repro.sparsela import panel_choose2_per_owner
+
+    out = np.zeros(max(hi - lo, 0), dtype=COUNT_DTYPE)
     if hi <= lo:
         return out
+    n = pivot_major.major_dim
     indptr = pivot_major.indptr
     comp_deg = np.diff(complementary.indptr)
     pivots = np.arange(lo, hi, dtype=np.int64)
@@ -144,13 +149,9 @@ def vertex_counts_panel(
     sel = endpoints != owners
     if not sel.any():
         return out
-    keys = (owners[sel] - lo) * np.int64(n) + endpoints[sel]
-    uniq, counts = np.unique(keys, return_counts=True)
-    counts = counts.astype(COUNT_DTYPE)
-    contrib = (counts * (counts - 1)) // 2
-    owners_of_pairs = (uniq // n).astype(np.int64)
-    np.add.at(out, owners_of_pairs, contrib)
-    return out
+    return panel_choose2_per_owner(
+        owners[sel] - lo, endpoints[sel], hi - lo, n, method=method
+    )
 
 
 def paper_tip_vector(graph: BipartiteGraph) -> np.ndarray:

@@ -8,10 +8,16 @@ butterfly sets and the totals simply add, regardless of the order the
 ranges run in.  This is exactly what the paper exploits for its 6-thread
 numbers (Fig. 11); here the same decomposition is executed on either
 
-- a **process pool** (default) — each worker receives the graph's
-  compressed arrays once via the pool initializer and counts a set of
-  pivot ranges; this is the configuration that actually scales in CPython,
-  standing in for the paper's OpenMP threads, or
+- a **shared-memory warm pool** (default) — the graph's compressed arrays
+  live in one POSIX shared-memory segment that workers attach zero-copy,
+  and the pool persists across calls; see
+  :class:`repro.parallel.ButterflyExecutor`, or
+- a **process pool** (the seed path, kept as the ablation baseline and
+  the fallback where shared memory is unavailable) — each worker receives
+  the graph's compressed arrays once per call via the pool initializer
+  and counts a set of pivot ranges; this is the configuration that
+  actually scales in CPython, standing in for the paper's OpenMP threads,
+  or
 - a **thread pool** — shares the arrays with zero copies but is mostly
   GIL-bound in pure-NumPy code; provided because that comparison is itself
   one of the lessons of porting the paper's parallelisation to Python (the
@@ -55,6 +61,7 @@ __all__ = [
     "count_butterflies_parallel",
     "vertex_butterfly_counts_parallel",
     "pivot_work_estimate",
+    "spmv_scan_lengths",
     "balanced_ranges",
 ]
 
@@ -70,24 +77,69 @@ def pivot_work_estimate(pivot_major, complementary) -> np.ndarray:
     return segment_sums(per_entry, pivot_major.indptr)
 
 
+def spmv_scan_lengths(pivot_major, reference: Reference) -> np.ndarray:
+    """Exact reference-partition scan length per pivot for ``spmv``.
+
+    The spmv update scans every stored entry of the reference partition —
+    the *prefix* ``indices[0 : indptr[p]]`` or the *suffix*
+    ``indices[indptr[p+1] : nnz]`` — so the per-pivot cost is triangular
+    in the pivot index, not uniform: ``indptr[p]`` entries for the prefix
+    reference, ``nnz − indptr[p+1]`` for the suffix.  (The seed modelled
+    this as uniform ``np.ones``, which systematically overloads the
+    prefix-heavy end of each range.)
+    """
+    indptr = np.asarray(pivot_major.indptr, dtype=np.int64)
+    if reference is Reference.PREFIX:
+        return indptr[:-1].copy()
+    nnz = int(indptr[-1]) if indptr.size else 0
+    return nnz - indptr[1:]
+
+
+def _parallel_work_model(
+    pivot_major, complementary, strategy: str, reference: Reference
+) -> np.ndarray:
+    """Per-pivot work estimate used to balance the parallel ranges."""
+    if strategy in ("adjacency", "scratch"):
+        return pivot_work_estimate(pivot_major, complementary)
+    # spmv: dominated by the reference-partition scan, triangular in the
+    # pivot index; add the pivot's own degree (the marker scatter).
+    return spmv_scan_lengths(pivot_major, reference) + np.diff(
+        pivot_major.indptr
+    )
+
+
 def balanced_ranges(work: np.ndarray, n_chunks: int) -> list[tuple[int, int]]:
     """Split ``range(len(work))`` into ≤ ``n_chunks`` contiguous ranges of
     roughly equal total ``work``.
 
     Empty ranges are dropped; the union of the returned ranges is always
     the full index range (so counts tile exactly).
+
+    Integer work is accumulated in exact int64 arithmetic — nnz-scale
+    totals exceed 2⁵³ long before they exceed 2⁶³, and a float64 cumsum
+    would silently stop resolving individual pivots there.
     """
+    work = np.asarray(work)
     n = len(work)
     if n == 0:
         return []
     n_chunks = max(1, min(n_chunks, n))
-    csum = np.concatenate([[0], np.cumsum(work, dtype=np.float64)])
+    exact = work.dtype.kind in "iub"
+    acc_dtype = np.int64 if exact else np.float64
+    csum = np.zeros(n + 1, dtype=acc_dtype)
+    np.cumsum(work.astype(acc_dtype, copy=False), out=csum[1:])
     total = csum[-1]
     if total == 0:
         # no work anywhere: fall back to equal-width ranges
         edges = np.linspace(0, n, n_chunks + 1).astype(int)
     else:
-        targets = np.linspace(0, total, n_chunks + 1)
+        if exact:
+            # integer targets: k-th boundary at ⌈total·k / n_chunks⌉,
+            # computed without ever leaving int64
+            ks = np.arange(n_chunks + 1, dtype=np.int64)
+            targets = (int(total) * ks) // n_chunks
+        else:
+            targets = np.linspace(0, float(total), n_chunks + 1)
         edges = np.searchsorted(csum, targets, side="left")
         edges[0], edges[-1] = 0, n
         edges = np.maximum.accumulate(edges)
@@ -107,8 +159,14 @@ def _count_range(
     strategy: str,
     entry_major_ids=None,
     marker=None,
+    scratch=None,
 ) -> int:
-    """Count the contribution of pivots [lo, hi) — the unit of parallel work."""
+    """Count the contribution of pivots [lo, hi) — the unit of parallel work.
+
+    ``entry_major_ids``/``marker`` (spmv) and ``scratch`` (scratch
+    strategy) are optional reusable buffers so warm-pool workers amortise
+    them across chunks; fresh ones are allocated when omitted.
+    """
     total = 0
     if strategy == "adjacency":
         for pivot in range(lo, hi):
@@ -116,7 +174,8 @@ def _count_range(
                 pivot_major, complementary, pivot, reference
             )
     elif strategy == "scratch":
-        scratch = np.zeros(pivot_major.major_dim, dtype=np.int64)
+        if scratch is None:
+            scratch = np.zeros(pivot_major.major_dim, dtype=np.int64)
         for pivot in range(lo, hi):
             total += _butterflies_at_pivot_scratch(
                 pivot_major, complementary, pivot, reference, scratch
@@ -185,7 +244,7 @@ def count_butterflies_parallel(
     graph: BipartiteGraph,
     n_workers: int | None = None,
     side: str | Side | None = None,
-    executor: str = "process",
+    executor: str = "shared",
     chunks_per_worker: int = 4,
     invariant: int | Invariant | None = None,
     strategy: str = "adjacency",
@@ -204,8 +263,14 @@ def count_butterflies_parallel(
         smaller vertex set, per the paper's Section V selection rule.
         Ignored when ``invariant`` is given.
     executor:
-        ``"process"`` (scales), ``"thread"`` (GIL-bound comparison), or
-        ``"serial"`` (same decomposition, no pool — used by tests).
+        ``"shared"`` (default — zero-copy shared-memory buffers on a
+        process-wide warm pool, see
+        :class:`repro.parallel.ButterflyExecutor`; falls back to
+        ``"process"`` where POSIX shared memory is unavailable),
+        ``"process"`` (the seed path: cold pool per call, graph pickled
+        into every worker via initargs), ``"thread"`` (GIL-bound
+        comparison), or ``"serial"`` (same decomposition, no pool — used
+        by tests).
     chunks_per_worker:
         Over-decomposition factor for load balancing on skewed graphs.
     invariant:
@@ -215,18 +280,19 @@ def count_butterflies_parallel(
         to the total (pivot contributions are order-independent), which is
         precisely why the family parallelises.
     strategy:
-        ``"adjacency"`` (default) or ``"spmv"`` — same meanings as the
-        sequential entry points, so speedups are apples-to-apples.
+        ``"adjacency"`` (default), ``"scratch"`` or ``"spmv"`` — same
+        meanings as the sequential entry points, so speedups are
+        apples-to-apples.
 
     Returns
     -------
     int
         Ξ_G, identical to every sequential member of the family.
     """
-    if executor not in ("process", "thread", "serial"):
+    if executor not in ("shared", "process", "thread", "serial"):
         raise ValueError(
-            f"unknown executor {executor!r}; expected 'process', 'thread' or "
-            "'serial'"
+            f"unknown executor {executor!r}; expected 'shared', 'process', "
+            "'thread' or 'serial'"
         )
     if strategy not in ("adjacency", "scratch", "spmv"):
         raise ValueError(
@@ -237,6 +303,21 @@ def count_butterflies_parallel(
         n_workers = min(os.cpu_count() or 1, 6)
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+
+    if executor == "shared" and n_workers > 1:
+        try:
+            from repro.parallel import get_default_executor
+
+            return get_default_executor(n_workers).count(
+                graph,
+                invariant=invariant,
+                side=side,
+                strategy=strategy,
+                chunks_per_worker=chunks_per_worker,
+            )
+        except (ImportError, OSError, PermissionError):
+            executor = "process"  # platform without usable shared memory
+
     reference = Reference.SUFFIX
     if invariant is not None:
         inv = _resolve_invariant(invariant)
@@ -249,16 +330,12 @@ def count_butterflies_parallel(
     else:
         side_e = Side(side)
     pivot_major, complementary = _matrices_for_side(graph, side_e)
-    if strategy in ("adjacency", "scratch"):
-        work = pivot_work_estimate(pivot_major, complementary)
-    else:
-        # the spmv scan cost is ~nnz per pivot, uniform across pivots
-        work = np.ones(pivot_major.major_dim)
+    work = _parallel_work_model(pivot_major, complementary, strategy, reference)
     ranges = balanced_ranges(work, n_workers * chunks_per_worker)
     if not ranges:
         return 0
 
-    if executor == "serial" or n_workers == 1:
+    if executor in ("serial", "shared") or n_workers == 1:
         return sum(
             _count_range(pivot_major, complementary, lo, hi, reference, strategy)
             for lo, hi in ranges
@@ -315,7 +392,7 @@ def vertex_butterfly_counts_parallel(
     graph: BipartiteGraph,
     side: str = "left",
     n_workers: int | None = None,
-    executor: str = "process",
+    executor: str = "shared",
     chunks_per_worker: int = 4,
 ) -> np.ndarray:
     """Per-vertex butterfly counts computed over a worker pool.
@@ -326,13 +403,14 @@ def vertex_butterfly_counts_parallel(
     distributed over the same pool machinery as the counting sweep.  Used
     to accelerate the peeling fixpoint rounds on multi-core machines.
 
-    Parameters mirror :func:`count_butterflies_parallel`; ``side`` selects
-    the counted vertex set rather than an invariant.
+    Parameters mirror :func:`count_butterflies_parallel` (including the
+    ``"shared"`` warm-pool default); ``side`` selects the counted vertex
+    set rather than an invariant.
     """
-    if executor not in ("process", "thread", "serial"):
+    if executor not in ("shared", "process", "thread", "serial"):
         raise ValueError(
-            f"unknown executor {executor!r}; expected 'process', 'thread' or "
-            "'serial'"
+            f"unknown executor {executor!r}; expected 'shared', 'process', "
+            "'thread' or 'serial'"
         )
     if side == "left":
         pivot_major, complementary = graph.csr, graph.csc
@@ -344,6 +422,17 @@ def vertex_butterfly_counts_parallel(
         n_workers = min(os.cpu_count() or 1, 6)
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+
+    if executor == "shared" and n_workers > 1:
+        try:
+            from repro.parallel import get_default_executor
+
+            return get_default_executor(n_workers).vertex_counts(
+                graph, side, chunks_per_worker=chunks_per_worker
+            )
+        except (ImportError, OSError, PermissionError):
+            executor = "process"  # platform without usable shared memory
+
     from repro.core.local_counts import vertex_counts_panel
 
     n = pivot_major.major_dim
@@ -353,7 +442,7 @@ def vertex_butterfly_counts_parallel(
     if not ranges:
         return out
 
-    if executor == "serial" or n_workers == 1:
+    if executor in ("serial", "shared") or n_workers == 1:
         for lo, hi in ranges:
             out[lo:hi] = vertex_counts_panel(pivot_major, complementary, lo, hi)
         return out

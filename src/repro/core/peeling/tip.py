@@ -76,7 +76,9 @@ def _peel_side_sizes(graph: BipartiteGraph, side: str) -> int:
     raise ValueError(f"side must be 'left' or 'right', got {side!r}")
 
 
-def k_tip(graph: BipartiteGraph, k: int, side: str = "left") -> TipResult:
+def k_tip(
+    graph: BipartiteGraph, k: int, side: str = "left", executor=None
+) -> TipResult:
     """Batch k-tip peeling: iterate eqs. (19)–(22) until fixpoint.
 
     Parameters
@@ -89,6 +91,12 @@ def k_tip(graph: BipartiteGraph, k: int, side: str = "left") -> TipResult:
     side:
         Which vertex set is peeled (``"left"`` = V1, the formulation's
         default, or ``"right"``).
+    executor:
+        Optional :class:`repro.parallel.ButterflyExecutor`.  When given,
+        every fixpoint round computes the per-vertex count vector on the
+        executor's *warm* pool via shared-memory graph buffers — the
+        multi-round loop pays pool startup zero times instead of once per
+        round.  ``None`` (default) keeps the serial blocked kernel.
 
     Returns
     -------
@@ -98,13 +106,17 @@ def k_tip(graph: BipartiteGraph, k: int, side: str = "left") -> TipResult:
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    if executor is None:
+        counts_of = lambda g: vertex_butterfly_counts_blocked(g, side)
+    else:
+        counts_of = lambda g: executor.vertex_counts(g, side)
     n_side = _peel_side_sizes(graph, side)
     kept = np.ones(n_side, dtype=bool)
     current = graph
     rounds = 0
     while True:
         rounds += 1
-        counts = vertex_butterfly_counts_blocked(current, side)
+        counts = counts_of(current)
         # vertices already peeled have zero rows, hence zero counts; only
         # demand >= k of the still-present vertices
         offenders = kept & (counts < k)
@@ -124,7 +136,7 @@ def k_tip(graph: BipartiteGraph, k: int, side: str = "left") -> TipResult:
     # normalise: a vertex with zero degree after peeling is "kept" only if
     # k == 0 (it participates in 0 butterflies)
     if k > 0:
-        counts = vertex_butterfly_counts_blocked(current, side)
+        counts = counts_of(current)
         kept = kept & (counts >= k)
     return TipResult(subgraph=current, kept=kept, rounds=rounds, k=k, side=side)
 

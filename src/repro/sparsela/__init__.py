@@ -22,10 +22,14 @@ from repro.sparsela.csc import PatternCSC
 from repro.sparsela.csr import PatternCSR
 from repro.sparsela._compressed import CompressedPattern, compress_pairs, expand_indptr
 from repro.sparsela.kernels import (
+    DEFAULT_KEYSPACE_CAP,
+    PANEL_REDUCTIONS,
     choose2,
     choose2_sum,
     gather_slices,
     multiplicity_counts,
+    panel_choose2_per_owner,
+    panel_choose2_sum,
     segment_sums,
     spmv_pattern,
     spmv_pattern_transposed,
@@ -72,6 +76,10 @@ __all__ = [
     "choose2",
     "choose2_sum",
     "segment_sums",
+    "panel_choose2_sum",
+    "panel_choose2_per_owner",
+    "PANEL_REDUCTIONS",
+    "DEFAULT_KEYSPACE_CAP",
     "spmv_pattern",
     "spmv_pattern_transposed",
     "linalg",

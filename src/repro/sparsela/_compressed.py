@@ -87,7 +87,9 @@ class CompressedPattern:
     #: 0 when the major (compressed) axis is rows, 1 when it is columns.
     MAJOR_AXIS: int = 0
 
-    __slots__ = ("indptr", "indices", "shape")
+    # __weakref__ lets the shared-memory executor key published graph
+    # buffers by matrix object and release segments when the matrix dies.
+    __slots__ = ("indptr", "indices", "shape", "__weakref__")
 
     def __init__(
         self,

@@ -29,6 +29,10 @@ __all__ = [
     "spmv_pattern",
     "spmv_pattern_transposed",
     "segment_sums",
+    "panel_choose2_sum",
+    "panel_choose2_per_owner",
+    "PANEL_REDUCTIONS",
+    "DEFAULT_KEYSPACE_CAP",
 ]
 
 
@@ -130,6 +134,168 @@ def spmv_pattern_transposed(a: CompressedPattern, x: np.ndarray) -> np.ndarray:
     contrib = np.repeat(x, np.diff(a.indptr))
     np.add.at(y, a.indices, contrib)
     return y
+
+
+# ----------------------------------------------------------------------
+# fused panel reductions (sort-free Σ C(·, 2) over (owner, endpoint) keys)
+# ----------------------------------------------------------------------
+
+#: Reduction methods accepted by the panel kernels.
+#:
+#: ``"sort"``      — ``np.unique`` over composite keys (the seed behaviour;
+#:                   O(W log W) comparison sort, excellent locality).
+#: ``"bincount"``  — scatter the composite keys into a dense histogram of
+#:                   the whole ``n_pivots × n`` key space; sort-free, one
+#:                   pass over the wedges plus one pass over the key space.
+#:                   Only sensible when the key space is small relative to
+#:                   the wedge count (gated by :data:`DEFAULT_KEYSPACE_CAP`).
+#: ``"scratch"``   — Chiba–Nishizeki discipline: per owner segment, scatter
+#:                   wedge endpoints into a persistent length-``n`` dense
+#:                   accumulator, reduce with Σ C(y,2) = (Σy² − Σy)/2, and
+#:                   zero exactly the touched entries.  Sort-free with O(n)
+#:                   transient memory regardless of panel width.
+#: ``"auto"``      — pick ``bincount`` when the key space is cheap enough,
+#:                   ``scratch`` otherwise.
+PANEL_REDUCTIONS: tuple[str, ...] = ("auto", "sort", "bincount", "scratch")
+
+#: Largest ``n_pivots × n`` key space (entry count) the ``bincount`` path
+#: will materialise: 2²² int64 entries = 32 MiB of transient histogram.
+DEFAULT_KEYSPACE_CAP: int = 1 << 22
+
+
+def _resolve_panel_method(
+    method: str, n_pivots: int, n: int, n_items: int, keyspace_cap: int
+) -> str:
+    if method not in PANEL_REDUCTIONS:
+        raise ValueError(
+            f"unknown panel reduction method {method!r}; expected one of "
+            f"{PANEL_REDUCTIONS}"
+        )
+    if method != "auto":
+        return method
+    keyspace = n_pivots * n
+    # bincount pays O(keyspace) zeroing + scanning: profitable only when the
+    # wedge list is at least commensurate with the key space it spreads over.
+    if keyspace <= keyspace_cap and keyspace <= max(4 * n_items, 1 << 16):
+        return "bincount"
+    return "scratch"
+
+
+def _owner_segment_bounds(owners_local: np.ndarray, n_pivots: int) -> np.ndarray:
+    """Start offsets of each owner's contiguous run (length ``n_pivots+1``).
+
+    ``owners_local`` must be non-decreasing (wedge lists are generated in
+    pivot order); owners with no wedges yield empty segments.
+    """
+    return np.searchsorted(
+        owners_local, np.arange(n_pivots + 1, dtype=INDEX_DTYPE), side="left"
+    )
+
+
+def panel_choose2_sum(
+    owners_local: np.ndarray,
+    endpoints: np.ndarray,
+    n_pivots: int,
+    n: int,
+    method: str = "auto",
+    scratch: np.ndarray | None = None,
+    keyspace_cap: int = DEFAULT_KEYSPACE_CAP,
+) -> int:
+    """``Σ_{(p,u)} C(mult(p, u), 2)`` over a panel's wedge list, sort-free.
+
+    ``owners_local`` (panel-local pivot ids, non-decreasing) and
+    ``endpoints`` (same-side endpoint ids in ``[0, n)``) together form the
+    multiset of wedges of a pivot panel; the reduction counts, for every
+    distinct (pivot, endpoint) pair, ``C(multiplicity, 2)`` butterflies.
+
+    This is the fused replacement for the seed's
+    ``np.unique(owner·n + endpoint)`` reduction; ``method`` selects the
+    evaluation (see :data:`PANEL_REDUCTIONS`) and is the ablation switch.
+    ``scratch`` optionally provides a reusable zeroed length-``n`` int64
+    accumulator for the ``scratch`` path (returned zeroed again).
+    """
+    owners_local = np.asarray(owners_local)
+    endpoints = np.asarray(endpoints)
+    if endpoints.size == 0:
+        return 0
+    chosen = _resolve_panel_method(
+        method, n_pivots, n, endpoints.size, keyspace_cap
+    )
+    if chosen == "sort":
+        keys = owners_local.astype(COUNT_DTYPE) * np.int64(n) + endpoints
+        _, counts = np.unique(keys, return_counts=True)
+        counts = counts.astype(COUNT_DTYPE)
+        return int(np.sum(counts * (counts - 1)) // 2)
+    if chosen == "bincount":
+        keys = owners_local.astype(COUNT_DTYPE) * np.int64(n) + endpoints
+        counts = np.bincount(keys).astype(COUNT_DTYPE, copy=False)
+        return int(np.sum(counts * (counts - 1)) // 2)
+    # scratch: per-owner dense accumulation, (Σy² − Σy)/2 per owner
+    if scratch is None:
+        scratch = np.zeros(n, dtype=COUNT_DTYPE)
+    bounds = _owner_segment_bounds(owners_local, n_pivots)
+    total = 0
+    for k in range(n_pivots):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        if hi <= lo:
+            continue
+        seg = endpoints[lo:hi]
+        np.add.at(scratch, seg, 1)
+        sum_sq = int(scratch[seg].sum())
+        scratch[seg] = 0
+        total += (sum_sq - (hi - lo)) // 2
+    return total
+
+
+def panel_choose2_per_owner(
+    owners_local: np.ndarray,
+    endpoints: np.ndarray,
+    n_pivots: int,
+    n: int,
+    method: str = "auto",
+    scratch: np.ndarray | None = None,
+    keyspace_cap: int = DEFAULT_KEYSPACE_CAP,
+) -> np.ndarray:
+    """Per-owner ``Σ_u C(mult(p, u), 2)`` for a panel's wedge list.
+
+    Same contract as :func:`panel_choose2_sum` but returns the length-
+    ``n_pivots`` int64 vector of per-pivot butterfly contributions — the
+    reduction behind the per-vertex (local-count) panel kernels.
+    """
+    owners_local = np.asarray(owners_local)
+    endpoints = np.asarray(endpoints)
+    out = np.zeros(n_pivots, dtype=COUNT_DTYPE)
+    if endpoints.size == 0:
+        return out
+    chosen = _resolve_panel_method(
+        method, n_pivots, n, endpoints.size, keyspace_cap
+    )
+    if chosen == "sort":
+        keys = owners_local.astype(COUNT_DTYPE) * np.int64(n) + endpoints
+        uniq, counts = np.unique(keys, return_counts=True)
+        counts = counts.astype(COUNT_DTYPE)
+        contrib = (counts * (counts - 1)) // 2
+        np.add.at(out, (uniq // n).astype(np.int64), contrib)
+        return out
+    if chosen == "bincount":
+        keys = owners_local.astype(COUNT_DTYPE) * np.int64(n) + endpoints
+        counts = np.bincount(keys, minlength=n_pivots * n)
+        counts = counts.astype(COUNT_DTYPE, copy=False).reshape(n_pivots, n)
+        contrib = (counts * (counts - 1)) // 2
+        return contrib.sum(axis=1)
+    if scratch is None:
+        scratch = np.zeros(n, dtype=COUNT_DTYPE)
+    bounds = _owner_segment_bounds(owners_local, n_pivots)
+    for k in range(n_pivots):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        if hi <= lo:
+            continue
+        seg = endpoints[lo:hi]
+        np.add.at(scratch, seg, 1)
+        sum_sq = int(scratch[seg].sum())
+        scratch[seg] = 0
+        out[k] = (sum_sq - (hi - lo)) // 2
+    return out
 
 
 def segment_sums(values: np.ndarray, indptr: np.ndarray, dtype=None) -> np.ndarray:

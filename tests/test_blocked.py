@@ -86,3 +86,90 @@ def test_blocked_medium_graph_all_invariants(medium_graph):
             count_butterflies_blocked(medium_graph, number, block_size=128)
             == expected
         ), number
+
+
+# ------------------------------------------------ work-adaptive panel sizing
+def test_work_bounded_panels_tile_exactly():
+    import numpy as np
+
+    from repro.core import work_bounded_panels
+
+    work = np.array([3, 3, 3, 10, 1, 1, 1, 1], dtype=np.int64)
+    panels = work_bounded_panels(work, budget=6)
+    covered = [i for lo, hi in panels for i in range(lo, hi)]
+    assert covered == list(range(8))
+    # every multi-pivot panel respects the budget
+    for lo, hi in panels:
+        if hi - lo > 1:
+            assert int(work[lo:hi].sum()) <= 6
+
+
+def test_work_bounded_panels_oversized_pivot_is_singleton():
+    import numpy as np
+
+    from repro.core import work_bounded_panels
+
+    work = np.array([2, 100, 2], dtype=np.int64)
+    panels = work_bounded_panels(work, budget=10)
+    assert (1, 2) in panels  # the 100-work pivot stands alone
+
+
+def test_work_bounded_panels_validation_and_empty():
+    import numpy as np
+
+    from repro.core import work_bounded_panels
+
+    with pytest.raises(ValueError, match="budget"):
+        work_bounded_panels(np.array([1, 2]), 0)
+    assert work_bounded_panels(np.array([], dtype=np.int64), 5) == []
+
+
+@pytest.mark.parametrize("budget", [1, 64, 4096, None])
+def test_blocked_work_budget_matches_fixed_blocks(medium_graph, budget):
+    from repro.core import DEFAULT_PANEL_WORK_BUDGET, count_butterflies
+
+    expected = count_butterflies(medium_graph)
+    kwargs = {} if budget is None else {"work_budget": budget}
+    assert count_butterflies_blocked(medium_graph, 2, **kwargs) == expected
+    assert DEFAULT_PANEL_WORK_BUDGET >= 1
+
+
+@pytest.mark.parametrize("number", range(1, 9))
+def test_blocked_work_budget_every_invariant(number):
+    g = tiny_named_graphs()["k44"]
+    assert count_butterflies_blocked(g, number, work_budget=8) == 36
+
+
+# --------------------------------------------------- panel reduction methods
+@pytest.mark.parametrize("method", ["auto", "sort", "bincount", "scratch"])
+def test_panel_methods_agree(medium_graph, method):
+    """Ablation switch: every reduction method is a drop-in (tentpole 3)."""
+    pm, co = medium_graph.csc, medium_graph.csr
+    n = pm.major_dim
+    step = 89
+    total = sum(
+        panel_butterflies(
+            pm, co, lo, min(lo + step, n), Reference.SUFFIX, method=method
+        )
+        for lo in range(0, n, step)
+    )
+    assert total == butterflies_spec_or_count(medium_graph)
+
+
+@pytest.mark.parametrize("method", ["sort", "bincount", "scratch"])
+def test_blocked_count_method_ablation(medium_graph, method):
+    from repro.core import count_butterflies
+
+    expected = count_butterflies(medium_graph)
+    assert count_butterflies_blocked(medium_graph, 2, method=method) == expected
+    assert count_butterflies_blocked(
+        medium_graph, 6, method=method, work_budget=2048
+    ) == expected
+
+
+def test_panel_invalid_method(medium_graph):
+    with pytest.raises(ValueError, match="method"):
+        panel_butterflies(
+            medium_graph.csc, medium_graph.csr, 0, 4, Reference.SUFFIX,
+            method="quantum",
+        )

@@ -1,0 +1,297 @@
+"""Shared-memory executor: lifecycle, equivalence, and warm-pool reuse.
+
+The contract under test (ISSUE acceptance criteria):
+
+- ``executor="shared"`` produces the bit-identical Ξ_G on every
+  invariant × strategy combination (vs. the serial family and the seed
+  ``process`` executor);
+- no shared-memory segments survive any executor lifecycle — normal
+  close, context-manager exit, mid-sweep exceptions, or publication-cache
+  eviction;
+- the pool is started once and reused across calls (warm pool), and a
+  graph is published once and reused across sweeps (zero-copy cache);
+- :func:`repro.core.k_tip` with an executor reaches the identical
+  fixpoint as the serial blocked kernel.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_INVARIANTS,
+    count_butterflies,
+    count_butterflies_parallel,
+    count_butterflies_unblocked,
+    k_tip,
+    vertex_butterfly_counts,
+)
+from repro.graphs import power_law_bipartite
+from repro.parallel import (
+    ButterflyExecutor,
+    SharedGraphBuffers,
+    attach_graph,
+    get_default_executor,
+    live_segment_names,
+    shutdown_default_executors,
+)
+from repro.parallel.shm import SEGMENT_PREFIX
+
+from .conftest import TINY_EXPECTED, tiny_named_graphs
+
+# Correctness does not need physical parallelism — a 2-worker pool is
+# valid on a single core — only a working process-pool implementation.
+needs_multicore = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm") and os.name != "nt",
+    reason="POSIX shared memory unavailable",
+)
+
+
+def _shm_dir_segments() -> set[str]:
+    """Names of our segments visible in /dev/shm (POSIX only)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-POSIX
+        return set()
+    return {
+        os.path.basename(p)
+        for p in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}_*")
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Every test in this module must leave /dev/shm as it found it."""
+    before_live = set(live_segment_names())
+    before_fs = _shm_dir_segments()
+    yield
+    shutdown_default_executors()
+    assert set(live_segment_names()) == before_live
+    assert _shm_dir_segments() == before_fs
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+
+
+class TestSharedGraphBuffers:
+    def test_publish_roundtrip(self, medium_graph):
+        with SharedGraphBuffers.publish(medium_graph) as buffers:
+            csr, csc = buffers.matrices()
+            assert np.array_equal(csr.indptr, medium_graph.csr.indptr)
+            assert np.array_equal(csr.indices, medium_graph.csr.indices)
+            assert np.array_equal(csc.indptr, medium_graph.csc.indptr)
+            assert np.array_equal(csc.indices, medium_graph.csc.indices)
+            assert buffers.name in live_segment_names()
+        assert buffers.name not in live_segment_names()
+
+    def test_attach_sees_same_data(self, medium_graph):
+        with SharedGraphBuffers.publish(medium_graph) as buffers:
+            shm, csr, csc = attach_graph(buffers.meta)
+            try:
+                assert np.array_equal(csr.indices, medium_graph.csr.indices)
+                assert np.array_equal(csc.indices, medium_graph.csc.indices)
+                assert not csr.indices.flags.writeable
+            finally:
+                shm.close()
+
+    def test_unlink_is_idempotent(self, medium_graph):
+        buffers = SharedGraphBuffers.publish(medium_graph)
+        buffers.unlink()
+        buffers.unlink()  # must not raise
+        assert buffers.name not in live_segment_names()
+
+    def test_exception_inside_context_still_unlinks(self, medium_graph):
+        with pytest.raises(RuntimeError):
+            with SharedGraphBuffers.publish(medium_graph) as buffers:
+                raise RuntimeError("mid-sweep failure")
+        assert buffers.name not in live_segment_names()
+        assert buffers.name not in _shm_dir_segments()
+
+    def test_empty_graph_publishes(self):
+        from repro.graphs import BipartiteGraph
+
+        g = BipartiteGraph.empty(3, 4)
+        with SharedGraphBuffers.publish(g) as buffers:
+            csr, _csc = buffers.matrices()
+            assert csr.nnz == 0
+
+    def test_meta_is_plain_tuple(self, medium_graph):
+        with SharedGraphBuffers.publish(medium_graph) as buffers:
+            name, n_left, n_right, nnz = buffers.meta
+            assert name.startswith(SEGMENT_PREFIX)
+            assert (n_left, n_right) == (medium_graph.n_left, medium_graph.n_right)
+            assert nnz == medium_graph.n_edges
+
+
+# ----------------------------------------------------------------------
+# executor lifecycle
+# ----------------------------------------------------------------------
+
+
+@needs_multicore
+class TestExecutorLifecycle:
+    def test_close_unlinks_publications(self, medium_graph):
+        ex = ButterflyExecutor(n_workers=2)
+        ex.count(medium_graph)
+        assert live_segment_names()  # published while live
+        ex.close()
+        assert live_segment_names() == []
+        assert ex.closed
+
+    def test_context_manager(self, medium_graph):
+        with ButterflyExecutor(n_workers=2) as ex:
+            ex.count(medium_graph)
+        assert live_segment_names() == []
+
+    def test_close_is_idempotent(self):
+        ex = ButterflyExecutor(n_workers=2)
+        ex.close()
+        ex.close()
+
+    def test_closed_executor_rejects_dispatch(self, medium_graph):
+        ex = ButterflyExecutor(n_workers=2)
+        ex.close()
+        with pytest.raises(RuntimeError):
+            ex.count(medium_graph)
+
+    def test_release_unlinks_one_graph(self, medium_graph):
+        with ButterflyExecutor(n_workers=2) as ex:
+            ex.count(medium_graph)
+            assert len(live_segment_names()) == 1
+            ex.release(medium_graph)
+            assert live_segment_names() == []
+            # releasing twice is fine
+            ex.release(medium_graph)
+
+    def test_publication_cache_evicts_lru(self):
+        graphs = [
+            power_law_bipartite(60, 80, 300, seed=s) for s in range(6)
+        ]
+        with ButterflyExecutor(n_workers=2) as ex:
+            for g in graphs:
+                ex.count(g)
+            # cache cap is 4: older segments must have been unlinked
+            assert len(live_segment_names()) <= ex._publish_cache_size
+        assert live_segment_names() == []
+
+    def test_warm_pool_reused_across_calls(self, medium_graph):
+        with ButterflyExecutor(n_workers=2) as ex:
+            for inv in (1, 2, 5, 6):
+                ex.count(medium_graph, invariant=inv)
+            ex.vertex_counts(medium_graph, "left")
+            assert ex.pool_starts == 1
+            assert ex.publish_count == 1  # same graph -> one segment
+            assert ex.dispatch_count == 5
+
+    def test_default_executor_is_shared_and_shut_down(self, medium_graph):
+        ex1 = get_default_executor(n_workers=2)
+        ex2 = get_default_executor(n_workers=2)
+        assert ex1 is ex2
+        ex1.count(medium_graph)
+        shutdown_default_executors()
+        assert ex1.closed
+        assert live_segment_names() == []
+        # a fresh default is handed out after shutdown
+        ex3 = get_default_executor(n_workers=2)
+        assert ex3 is not ex1 and not ex3.closed
+        shutdown_default_executors()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ButterflyExecutor(n_workers=0)
+        with pytest.raises(ValueError):
+            ButterflyExecutor(n_workers=2, chunks_per_worker=0)
+
+    def test_serial_shortcut_uses_no_pool(self, medium_graph):
+        with ButterflyExecutor(n_workers=1) as ex:
+            total = ex.count(medium_graph)
+            counts = ex.vertex_counts(medium_graph, "left")
+        assert total == count_butterflies(medium_graph)
+        assert np.array_equal(counts, vertex_butterfly_counts(medium_graph, "left"))
+        assert ex.pool_starts == 0
+        assert live_segment_names() == []
+
+
+# ----------------------------------------------------------------------
+# equivalence: shared == process == serial, all invariants x strategies
+# ----------------------------------------------------------------------
+
+
+@needs_multicore
+class TestEquivalence:
+    @pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv"])
+    def test_all_invariants_match_serial(self, medium_graph, strategy):
+        expected = count_butterflies(medium_graph)
+        with ButterflyExecutor(n_workers=2) as ex:
+            for inv in ALL_INVARIANTS:
+                assert ex.count(
+                    medium_graph, invariant=inv.number, strategy=strategy
+                ) == expected
+                assert count_butterflies_unblocked(
+                    medium_graph, inv.number, strategy=strategy
+                ) == expected
+
+    def test_shared_matches_process_executor(self, medium_graph):
+        serial = count_butterflies_parallel(
+            medium_graph, n_workers=1, executor="serial"
+        )
+        shared = count_butterflies_parallel(
+            medium_graph, n_workers=2, executor="shared"
+        )
+        process = count_butterflies_parallel(
+            medium_graph, n_workers=2, executor="process"
+        )
+        assert serial == shared == process == count_butterflies(medium_graph)
+
+    def test_tiny_graphs(self):
+        with ButterflyExecutor(n_workers=2) as ex:
+            for name, g in tiny_named_graphs().items():
+                assert ex.count(g) == TINY_EXPECTED[name], name
+
+    def test_vertex_counts_both_sides(self, medium_graph):
+        with ButterflyExecutor(n_workers=2) as ex:
+            for side in ("left", "right"):
+                got = ex.vertex_counts(medium_graph, side)
+                want = vertex_butterfly_counts(medium_graph, side)
+                assert np.array_equal(got, want)
+
+    def test_invalid_strategy_and_side(self, medium_graph):
+        with ButterflyExecutor(n_workers=2) as ex:
+            with pytest.raises(ValueError):
+                ex.count(medium_graph, strategy="nope")
+            with pytest.raises(ValueError):
+                ex.vertex_counts(medium_graph, "middle")
+
+
+# ----------------------------------------------------------------------
+# peeling through the executor
+# ----------------------------------------------------------------------
+
+
+@needs_multicore
+class TestPeelingWithExecutor:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_k_tip_matches_serial(self, medium_graph, k):
+        serial = k_tip(medium_graph, k)
+        with ButterflyExecutor(n_workers=2) as ex:
+            parallel = k_tip(medium_graph, k, executor=ex)
+        assert np.array_equal(parallel.kept, serial.kept)
+        assert parallel.n_kept == serial.n_kept
+        assert parallel.subgraph.n_edges == serial.subgraph.n_edges
+
+    def test_k_tip_right_side(self, medium_graph):
+        serial = k_tip(medium_graph, 2, side="right")
+        with ButterflyExecutor(n_workers=2) as ex:
+            parallel = k_tip(medium_graph, 2, side="right", executor=ex)
+        assert np.array_equal(parallel.kept, serial.kept)
+
+    def test_multi_round_peel_starts_pool_once(self, medium_graph):
+        with ButterflyExecutor(n_workers=2) as ex:
+            res = k_tip(medium_graph, 5, executor=ex)
+            assert res.rounds >= 1
+            assert ex.pool_starts <= 1
+        assert live_segment_names() == []

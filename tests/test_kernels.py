@@ -124,3 +124,111 @@ def test_segment_sums_bool_values_promote():
     out = segment_sums(vals, np.array([0, 3]))
     assert out.tolist() == [2]
     assert out.dtype == np.int64
+
+
+# ----------------------------------------------------- fused panel reductions
+def _brute_choose2(owners, endpoints):
+    from collections import Counter
+
+    c = Counter(zip(owners.tolist(), endpoints.tolist()))
+    return sum(m * (m - 1) // 2 for m in c.values())
+
+
+def _brute_choose2_per_owner(owners, endpoints, n_pivots):
+    from collections import Counter
+
+    c = Counter(zip(owners.tolist(), endpoints.tolist()))
+    out = np.zeros(n_pivots, dtype=np.int64)
+    for (p, _u), m in c.items():
+        out[p] += m * (m - 1) // 2
+    return out
+
+
+@pytest.mark.parametrize("method", ["auto", "sort", "bincount", "scratch"])
+def test_panel_choose2_sum_matches_brute(method, rng):
+    from repro.sparsela import panel_choose2_sum
+
+    n_pivots, n = 7, 23
+    owners = np.sort(rng.integers(0, n_pivots, size=300))
+    endpoints = rng.integers(0, n, size=300)
+    got = panel_choose2_sum(owners, endpoints, n_pivots, n, method=method)
+    assert got == _brute_choose2(owners, endpoints)
+    assert isinstance(got, int)
+
+
+@pytest.mark.parametrize("method", ["auto", "sort", "bincount", "scratch"])
+def test_panel_choose2_per_owner_matches_brute(method, rng):
+    from repro.sparsela import panel_choose2_per_owner
+
+    n_pivots, n = 5, 17
+    owners = np.sort(rng.integers(0, n_pivots, size=200))
+    endpoints = rng.integers(0, n, size=200)
+    got = panel_choose2_per_owner(
+        owners, endpoints, n_pivots, n, method=method
+    )
+    want = _brute_choose2_per_owner(owners, endpoints, n_pivots)
+    assert np.array_equal(got, want)
+    assert got.dtype == np.int64
+
+
+def test_panel_choose2_empty_inputs():
+    from repro.sparsela import panel_choose2_per_owner, panel_choose2_sum
+
+    empty = np.array([], dtype=np.int64)
+    assert panel_choose2_sum(empty, empty, 4, 10) == 0
+    assert panel_choose2_per_owner(empty, empty, 4, 10).tolist() == [0] * 4
+
+
+def test_panel_choose2_owner_with_no_wedges():
+    from repro.sparsela import panel_choose2_per_owner
+
+    # owners 0 and 3 have wedges, 1 and 2 do not
+    owners = np.array([0, 0, 3, 3, 3])
+    endpoints = np.array([5, 5, 2, 2, 2])
+    for method in ("sort", "bincount", "scratch"):
+        out = panel_choose2_per_owner(owners, endpoints, 4, 8, method=method)
+        assert out.tolist() == [1, 0, 0, 3]
+
+
+def test_panel_choose2_scratch_buffer_reuse_and_rezero():
+    from repro.sparsela import panel_choose2_sum
+
+    n = 12
+    scratch = np.zeros(n, dtype=np.int64)
+    owners = np.array([0, 0, 1, 1, 1])
+    endpoints = np.array([3, 3, 7, 7, 7])
+    got = panel_choose2_sum(
+        owners, endpoints, 2, n, method="scratch", scratch=scratch
+    )
+    assert got == 1 + 3
+    assert not scratch.any()  # returned zeroed, ready for the next panel
+    # second call on the same buffer stays correct
+    assert panel_choose2_sum(
+        owners, endpoints, 2, n, method="scratch", scratch=scratch
+    ) == 4
+
+
+def test_panel_auto_dispatch_respects_keyspace_cap():
+    from repro.sparsela.kernels import _resolve_panel_method
+
+    # tiny key space, plenty of items -> dense histogram
+    assert _resolve_panel_method("auto", 4, 100, 5000, 1 << 22) == "bincount"
+    # key space beyond the cap -> scratch discipline
+    assert _resolve_panel_method("auto", 10**4, 10**4, 5000, 1 << 22) == "scratch"
+    # explicit choices pass through untouched
+    for m in ("sort", "bincount", "scratch"):
+        assert _resolve_panel_method(m, 4, 100, 50, 1 << 22) == m
+    with pytest.raises(ValueError, match="method"):
+        _resolve_panel_method("fft", 4, 100, 50, 1 << 22)
+
+
+def test_panel_choose2_large_multiplicity_exact():
+    from repro.sparsela import panel_choose2_sum
+
+    # C(200000, 2) overflows int32 comfortably; must stay exact in int64
+    m = 200_000
+    owners = np.zeros(m, dtype=np.int64)
+    endpoints = np.zeros(m, dtype=np.int64)
+    expected = m * (m - 1) // 2
+    for method in ("sort", "bincount", "scratch"):
+        assert panel_choose2_sum(owners, endpoints, 1, 3, method=method) == expected

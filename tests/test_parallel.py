@@ -196,3 +196,101 @@ def test_chunks_per_worker_does_not_change_result(medium_graph):
         assert count_butterflies_parallel(
             medium_graph, n_workers=2, executor="thread", chunks_per_worker=cpw
         ) == expected
+
+
+# ------------------------------------------------- int64-exact load balancing
+def test_balanced_ranges_int64_exact_beyond_float53():
+    """Integer work must not lose exactness to float64 rounding (> 2^53)."""
+    big = np.int64(1) << 55
+    work = np.array([big, 1, 1, big, 1, 1], dtype=np.int64)
+    ranges = balanced_ranges(work, 2)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(6))
+    # the two huge pivots must land in different chunks: a float64 cumsum
+    # would swallow the +1 items and could misplace the cut
+    owners = {}
+    for ci, (lo, hi) in enumerate(ranges):
+        for i in range(lo, hi):
+            owners[i] = ci
+    assert owners[0] != owners[3]
+
+
+def test_balanced_ranges_single_pivot():
+    assert balanced_ranges(np.array([42], dtype=np.int64), 5) == [(0, 1)]
+
+
+def test_balanced_ranges_all_zero_int():
+    ranges = balanced_ranges(np.zeros(7, dtype=np.int64), 3)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(7))
+
+
+def test_balanced_ranges_float_work_still_supported():
+    work = np.array([0.5, 0.5, 1.5, 0.5])
+    ranges = balanced_ranges(work, 2)
+    covered = [i for lo, hi in ranges for i in range(lo, hi)]
+    assert covered == list(range(4))
+
+
+# ------------------------------------------------------ spmv work model fix
+def test_spmv_scan_lengths_triangular(medium_graph):
+    """The spmv per-pivot cost is the reference-partition scan length."""
+    from repro.core import spmv_scan_lengths
+    from repro.core.family import Reference
+
+    pm = medium_graph.csr
+    nnz = pm.nnz
+    prefix = spmv_scan_lengths(pm, Reference.PREFIX)
+    suffix = spmv_scan_lengths(pm, Reference.SUFFIX)
+    assert np.array_equal(prefix, pm.indptr[:-1])
+    assert np.array_equal(suffix, nnz - pm.indptr[1:])
+    # prefix + suffix covers every off-pivot entry exactly once per pivot
+    deg = np.diff(pm.indptr)
+    assert np.array_equal(prefix + suffix, nnz - deg)
+
+
+def test_spmv_work_model_is_not_uniform(medium_graph):
+    """Regression: the seed modelled spmv work as np.ones — pivot 0 and
+    pivot n-1 have wildly different suffix scan lengths."""
+    from repro.core.parallel import _parallel_work_model
+    from repro.core.family import Reference
+
+    pm, co = medium_graph.csr, medium_graph.csc
+    work = _parallel_work_model(pm, co, "spmv", Reference.SUFFIX)
+    assert work.dtype.kind in "iu"
+    assert work[0] >= work[-1]  # suffix scans shrink toward the end
+    assert len(np.unique(work)) > 1
+
+
+# ----------------------------------------------- shared executor entry point
+def test_shared_executor_default_matches(medium_graph):
+    from repro.parallel import shutdown_default_executors
+
+    try:
+        expected = count_butterflies(medium_graph)
+        assert count_butterflies_parallel(medium_graph, n_workers=2) == expected
+        assert count_butterflies_parallel(
+            medium_graph, n_workers=2, executor="shared", invariant=7,
+            strategy="scratch",
+        ) == expected
+    finally:
+        shutdown_default_executors()
+
+
+def test_vertex_counts_shared_executor(medium_graph):
+    from repro.core import (
+        vertex_butterfly_counts,
+        vertex_butterfly_counts_parallel,
+    )
+    from repro.parallel import shutdown_default_executors
+
+    try:
+        for side in ("left", "right"):
+            got = vertex_butterfly_counts_parallel(
+                medium_graph, side, n_workers=2, executor="shared"
+            )
+            assert np.array_equal(
+                got, vertex_butterfly_counts(medium_graph, side)
+            )
+    finally:
+        shutdown_default_executors()

@@ -133,3 +133,48 @@ def test_top_pairs_validation_and_empty():
     assert top_butterfly_pairs(g, 4) == []
     with pytest.raises(ValueError, match="non-negative"):
         top_butterfly_pairs(g, -1)
+
+
+@pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv"])
+def test_has_at_least_every_strategy_exact(corpus, strategy):
+    """The decision procedure is strategy-independent (satellite c)."""
+    for name, g in corpus[:5]:
+        total = count_butterflies(g)
+        assert has_at_least(g, total, strategy=strategy) is True, name
+        assert has_at_least(g, total + 1, strategy=strategy) is False, name
+
+
+@pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv"])
+def test_has_at_least_early_exit_under_every_strategy(strategy):
+    """The sweep must stop at the first pivot whose running total clears
+    the threshold — observed through the on_step hook, per strategy."""
+    g = BipartiteGraph.complete(40, 40)
+    n_pivots = g.n_right  # auto-selected side is columns (n_right <= n_left)
+    steps = []
+    assert has_at_least(
+        g, 1, strategy=strategy,
+        on_step=lambda i, pivot, total: steps.append((i, pivot, total)),
+    )
+    assert len(steps) < n_pivots  # stopped early
+    assert steps[-1][2] >= 1
+    # a hopeless threshold runs the entire sweep
+    steps.clear()
+    assert not has_at_least(
+        g, 10**18, strategy=strategy,
+        on_step=lambda i, pivot, total: steps.append(i),
+    )
+    assert len(steps) == n_pivots
+
+
+def test_has_at_least_invalid_strategy():
+    g = tiny_named_graphs()["k33"]
+    with pytest.raises(ValueError, match="strategy"):
+        has_at_least(g, 1, strategy="magic")
+
+
+@pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv"])
+@pytest.mark.parametrize("inv", [1, 3, 6, 8])
+def test_has_at_least_strategy_invariant_grid(strategy, inv):
+    g = tiny_named_graphs()["k44"]
+    assert has_at_least(g, 36, invariant=inv, strategy=strategy)
+    assert not has_at_least(g, 37, invariant=inv, strategy=strategy)
