@@ -16,9 +16,14 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Machine-readable seed-vs-shared dispatch overhead (BENCH_parallel.json).
+# Machine-readable seed-vs-shared dispatch overhead (BENCH_parallel.json)
+# plus the observability stream (metrics.jsonl, uploaded by CI).  Run with
+# REPRO_OBS=0 to pin the obs no-op path for overhead comparisons.
 bench-quick:
-	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json --metrics-out metrics.jsonl
+
+stats:
+	PYTHONPATH=src $(PYTHON) -m repro.cli stats --from-metrics metrics.jsonl
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -q

@@ -159,13 +159,31 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--no-throughput", action="store_true",
                         help="skip the power-law throughput section")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable repro.obs for the run and append the registry to "
+        "PATH as JSON lines (the CI artifact; REPRO_OBS=0 force-disables "
+        "so the no-op overhead criterion stays measurable)",
+    )
     args = parser.parse_args(argv)
 
+    from repro import obs
+
+    if args.metrics_out:
+        obs.enable()
     payload = run_benchmark(
         n_workers=args.workers,
         repeats=args.repeats,
         throughput=not args.no_throughput,
     )
+    if args.metrics_out:
+        records = obs.dump_jsonl(args.metrics_out, benchmark="parallel_bench")
+        payload["metrics"] = {
+            "path": args.metrics_out,
+            "distinct_names": len(records),
+            "layers": sorted(obs.registry().layers()),
+        }
+        obs.disable()
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -9,10 +9,16 @@
     repro-butterfly bench      [--dataset NAME] # fig10-style sweep on a stand-in
     repro-butterfly algorithms [--executor E] [--run GRAPH]  # the registry
     repro-butterfly generate   OUT --n-left M --n-right N --edges E
+    repro-butterfly stats      --from-metrics metrics.jsonl  # render metrics
 
 GRAPH is either a path to a KONECT-format edge list (optionally ``.gz``;
 see :mod:`repro.graphs.io`) or ``dataset:<name>`` for one of the synthetic
 Fig. 9 stand-ins.
+
+Every command accepts a global ``--metrics-out PATH`` (before the
+subcommand): it enables :mod:`repro.obs` for the run and appends one JSON
+line per metric to PATH on exit — ``stats --from-metrics PATH`` renders
+the accumulated file as a human table.
 """
 
 from __future__ import annotations
@@ -52,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-butterfly",
         description="Butterfly counting and peeling for bipartite graphs "
         "(linear-algebra algorithm family).",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable observability (repro.obs) and append one JSON line "
+        "per metric to PATH when the command finishes",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -131,6 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_alg.add_argument("--run", default=None, metavar="GRAPH",
                        help="also run every listed member on this graph "
                        "and assert agreement")
+
+    p_stats = sub.add_parser(
+        "stats", help="render a metrics JSONL file as a human table"
+    )
+    p_stats.add_argument(
+        "--from-metrics",
+        dest="from_metrics",
+        required=True,
+        metavar="PATH",
+        help="metrics.jsonl written by --metrics-out (runs are merged: "
+        "counters/histograms add, gauges keep the last record)",
+    )
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable merged snapshot")
     return p
 
 
@@ -293,10 +320,23 @@ def _cmd_algorithms(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro import obs
+
+    registry = obs.read_jsonl(args.from_metrics)
+    if args.json:
+        import json
+
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        return 0
+    print(obs.render_table(registry, title=f"metrics: {args.from_metrics}"))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point (installed as ``repro-butterfly``)."""
     args = build_parser().parse_args(argv)
-    return {
+    handler = {
         "info": _cmd_info,
         "count": _cmd_count,
         "peel": _cmd_peel,
@@ -304,7 +344,20 @@ def main(argv=None) -> int:
         "decompose": _cmd_decompose,
         "generate": _cmd_generate,
         "algorithms": _cmd_algorithms,
-    }[args.command](args)
+        "stats": _cmd_stats,
+    }[args.command]
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return handler(args)
+    from repro import obs
+
+    obs.enable()
+    try:
+        return handler(args)
+    finally:
+        obs.dump_jsonl(metrics_out, command=args.command)
+        obs.disable()
+        obs.reset()  # keep back-to-back in-process invocations hermetic
 
 
 if __name__ == "__main__":  # pragma: no cover

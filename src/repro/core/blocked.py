@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.family import (
     Invariant,
     Reference,
@@ -133,6 +134,9 @@ def panel_butterflies(
     comp_deg = complementary.indptr[neighbors + 1] - complementary.indptr[neighbors]
     endpoints = gather_slices(complementary.indptr, complementary.indices, neighbors)
     owners = np.repeat(owner_pivot, comp_deg)
+    if obs._enabled:
+        obs.observe("blocked.panel.wedges", int(endpoints.size))
+        obs.observe("blocked.panel.pivots", hi - lo)
     if reference is Reference.SUFFIX:
         sel = endpoints > owners
     else:
@@ -201,10 +205,18 @@ def count_butterflies_blocked(
         ]
     if inv.traversal is Traversal.BACKWARD:
         panels.reverse()
-    scratch = np.zeros(n, dtype=np.int64)
-    for lo, hi in panels:
-        total += panel_butterflies(
-            pivot_major, complementary, lo, hi, inv.reference,
-            method=method, scratch=scratch,
+    if obs._enabled:
+        obs.inc("blocked.panels", len(panels))
+        obs.inc(
+            "blocked.panels.adaptive" if work_budget is not None
+            else "blocked.panels.fixed",
+            len(panels),
         )
+    scratch = np.zeros(n, dtype=np.int64)
+    with obs.span("blocked.count"):
+        for lo, hi in panels:
+            total += panel_butterflies(
+                pivot_major, complementary, lo, hi, inv.reference,
+                method=method, scratch=scratch,
+            )
     return total

@@ -72,6 +72,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.bipartite import BipartiteGraph
 from repro.sparsela import expand_indptr, gather_slices
 from repro.sparsela._compressed import CompressedPattern
@@ -344,6 +345,11 @@ def count_butterflies_unblocked(
     inv = _resolve_invariant(invariant)
     pivot_major, complementary = _matrices_for_side(graph, inv.side)
     n = pivot_major.major_dim
+    if obs._enabled:
+        obs.inc("family.count.calls")
+        obs.inc(f"family.invariant.{inv.number}")
+        obs.inc(f"family.strategy.{strategy}")
+        obs.inc("family.pivots", n)
     total = 0
     if strategy == "adjacency":
         for step, pivot in enumerate(pivot_order(n, inv.traversal)):

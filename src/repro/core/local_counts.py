@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro._types import COUNT_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
 from repro.sparsela import gather_slices
@@ -146,6 +147,9 @@ def vertex_counts_panel(
         complementary.indptr, complementary.indices, neighbors
     )
     owners = np.repeat(owner, comp_deg[neighbors])
+    if obs._enabled:
+        obs.inc("local.panels")
+        obs.observe("local.panel.wedges", int(endpoints.size))
     sel = endpoints != owners
     if not sel.any():
         return out

@@ -43,6 +43,7 @@ import os
 
 import numpy as np
 
+from repro import obs
 from repro.core.family import (
     Invariant,
     Reference,
@@ -303,6 +304,9 @@ def count_butterflies_parallel(
         n_workers = min(os.cpu_count() or 1, 6)
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if obs._enabled:
+        obs.inc("parallel.count.calls")
+        obs.inc(f"parallel.executor.{executor}")
 
     if executor == "shared" and n_workers > 1:
         try:
@@ -316,7 +320,11 @@ def count_butterflies_parallel(
                 chunks_per_worker=chunks_per_worker,
             )
         except (ImportError, OSError, PermissionError):
-            executor = "process"  # platform without usable shared memory
+            # documented heal path: platform without usable shared memory
+            # (or a publish/attach failure) falls back to the seed pickling
+            # executor — observable as parallel.shared_fallback
+            obs.inc("parallel.shared_fallback")
+            executor = "process"
 
     reference = Reference.SUFFIX
     if invariant is not None:
@@ -332,6 +340,8 @@ def count_butterflies_parallel(
     pivot_major, complementary = _matrices_for_side(graph, side_e)
     work = _parallel_work_model(pivot_major, complementary, strategy, reference)
     ranges = balanced_ranges(work, n_workers * chunks_per_worker)
+    if obs._enabled:
+        obs.inc("parallel.ranges", len(ranges))
     if not ranges:
         return 0
 
@@ -431,6 +441,7 @@ def vertex_butterfly_counts_parallel(
                 graph, side, chunks_per_worker=chunks_per_worker
             )
         except (ImportError, OSError, PermissionError):
+            obs.inc("parallel.shared_fallback")
             executor = "process"  # platform without usable shared memory
 
     from repro.core.local_counts import vertex_counts_panel

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro._types import COUNT_DTYPE
 from repro.core.local_counts import vertex_butterfly_counts_blocked
 from repro.graphs.bipartite import BipartiteGraph
@@ -114,30 +115,37 @@ def k_tip(
     kept = np.ones(n_side, dtype=bool)
     current = graph
     rounds = 0
-    while True:
-        rounds += 1
-        counts = counts_of(current)
-        # vertices already peeled have zero rows, hence zero counts; only
-        # demand >= k of the still-present vertices
-        offenders = kept & (counts < k)
-        if not offenders.any():
-            break
-        kept &= ~offenders
-        if side == "left":
-            current = current.subgraph_from_mask(
-                kept, np.ones(graph.n_right, dtype=bool)
-            )
-        else:
-            current = current.subgraph_from_mask(
-                np.ones(graph.n_left, dtype=bool), kept
-            )
-        if not kept.any():
-            break
-    # normalise: a vertex with zero degree after peeling is "kept" only if
-    # k == 0 (it participates in 0 butterflies)
-    if k > 0:
-        counts = counts_of(current)
-        kept = kept & (counts >= k)
+    with obs.span("peel.tip"):
+        while True:
+            rounds += 1
+            with obs.span("peel.tip.round"):
+                counts = counts_of(current)
+            # vertices already peeled have zero rows, hence zero counts;
+            # only demand >= k of the still-present vertices
+            offenders = kept & (counts < k)
+            if obs._enabled:
+                obs.inc("peel.tip.rounds")
+                obs.inc("peel.tip.peeled", int(offenders.sum()))
+            if not offenders.any():
+                break
+            kept &= ~offenders
+            if side == "left":
+                current = current.subgraph_from_mask(
+                    kept, np.ones(graph.n_right, dtype=bool)
+                )
+            else:
+                current = current.subgraph_from_mask(
+                    np.ones(graph.n_left, dtype=bool), kept
+                )
+            if not kept.any():
+                break
+        # normalise: a vertex with zero degree after peeling is "kept" only
+        # if k == 0 (it participates in 0 butterflies)
+        if k > 0:
+            counts = counts_of(current)
+            kept = kept & (counts >= k)
+        if obs._enabled:
+            obs.gauge("peel.tip.kept", int(kept.sum()))
     return TipResult(subgraph=current, kept=kept, rounds=rounds, k=k, side=side)
 
 
@@ -188,6 +196,8 @@ def k_tip_lookahead(graph: BipartiteGraph, k: int, side: str = "left") -> TipRes
     rounds = 0
     while True:
         rounds += 1
+        if obs._enabled:
+            obs.inc("peel.tip.lookahead.rounds")
         s = _tip_sweep_lookahead(current, side)
         offenders = kept & (s < k)
         if not offenders.any():

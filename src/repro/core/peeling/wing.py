@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.local_counts import edge_butterfly_support_blocked
 from repro.graphs.bipartite import BipartiteGraph
 
@@ -66,14 +67,21 @@ def k_wing(graph: BipartiteGraph, k: int) -> WingResult:
         raise ValueError(f"k must be non-negative, got {k}")
     current = graph
     rounds = 0
-    while current.n_edges:
-        rounds += 1
-        support = edge_butterfly_support_blocked(current)  # per csr entry
-        keep = support >= k  # eq. (26): M = S_w >= k
-        if keep.all():
-            break
-        # eq. (27): A₁ = A₀ ∘ M — drop the under-supported stored entries
-        current = BipartiteGraph.from_csr(current.csr.mask_entries(keep))
+    with obs.span("peel.wing"):
+        while current.n_edges:
+            rounds += 1
+            with obs.span("peel.wing.round"):
+                support = edge_butterfly_support_blocked(current)  # per entry
+            keep = support >= k  # eq. (26): M = S_w >= k
+            if obs._enabled:
+                obs.inc("peel.wing.rounds")
+                obs.inc("peel.wing.edges_removed", int((~keep).sum()))
+            if keep.all():
+                break
+            # eq. (27): A₁ = A₀ ∘ M — drop under-supported stored entries
+            current = BipartiteGraph.from_csr(current.csr.mask_entries(keep))
+        if obs._enabled:
+            obs.gauge("peel.wing.edges", int(current.n_edges))
     if rounds == 0:
         rounds = 1  # an edgeless graph is vacuously its own k-wing
     return WingResult(subgraph=current, rounds=rounds, k=k)

@@ -35,6 +35,7 @@ from repro.sparsela.linalg import (
 __all__ = [
     "butterflies_spec_upper",
     "butterflies_spec_trace",
+    "butterflies_spec_bform",
     "butterflies_spec_adjacency",
     "butterflies_spec",
     "wedges_spec",
@@ -88,6 +89,27 @@ def butterflies_spec_trace(graph_or_matrix) -> int:
     trace = int(gamma(c2))
     # Ξ = ½ Σ C − ½ Γ(C) = ¼ Σ 2C − ¼ Γ(2C)
     return (total - trace) // 4
+
+
+def butterflies_spec_bform(graph_or_matrix) -> int:
+    """Eq. (4): Ξ_G = ¼Γ(BBᵀ) − ¼Γ(B∘B) − (¼Γ(JBᵀ) − ¼Γ(B)).
+
+    The closed form in terms of the wedge matrix B = A·Aᵀ *with the
+    transposes written out* — the intermediate step between the Hadamard
+    form (eq. 2) and the fully expanded adjacency form (eq. 7, which
+    substitutes B = AAᵀ and drops the transposes by symmetry).  Keeping
+    the transposes literal makes this the executable statement of the
+    identity Σ X = Γ(JXᵀ) used throughout the derivation.
+    """
+    a = _as_dense_biadjacency(graph_or_matrix)
+    m = a.shape[0]
+    b = a @ a.T
+    j = ones_matrix(m)
+    return (
+        int(gamma(b @ b.T))
+        - int(gamma(hadamard(b, b)))
+        - (int(gamma(j @ b.T)) - int(gamma(b)))
+    ) // 4
 
 
 def butterflies_spec_adjacency(graph_or_matrix) -> int:

@@ -1,0 +1,260 @@
+"""repro.obs — zero-dependency observability (counters, timers, spans).
+
+One process-wide :class:`Metrics` registry, mutated through module-level
+helpers that compile down to *one attribute load and one branch* when
+observability is off — the hot kernels call these directly, so the
+disabled path must cost nothing measurable (the acceptance bar is <2% on
+``make bench-quick``).
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()                        # or REPRO_OBS=1 in the environment
+    with obs.span("blocked.count"):     # -> blocked.count.{calls,seconds}
+        ...
+    obs.inc("kernels.panel.wedges", endpoints.size)
+    obs.gauge("peel.tip.kept", int(kept.sum()))
+
+    print(obs.render())                 # human table
+    obs.dump_jsonl("metrics.jsonl")     # one JSON line per metric
+
+State model
+-----------
+- **Off by default.**  ``obs.enable()`` / ``REPRO_OBS=1`` turn recording
+  on; ``REPRO_OBS=0`` *force-disables* it (``enable()`` becomes a no-op)
+  so a benchmark run can pin the no-op path regardless of what the code
+  under test does.
+- :func:`disabled` is a context manager forcing the no-op path for a
+  region — the documented way to exclude a section from measurement.
+- :func:`capture` swaps in a **fresh registry**, enables, and yields it;
+  tests use it to observe a workload hermetically.
+
+Worker processes (the shared-memory executor pool) accumulate into their
+own registry and return a :func:`snapshot` delta through the existing
+result path; the owner folds it back with :func:`merge_snapshot` — see
+``repro/parallel/executor.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from contextlib import contextmanager
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    flush,
+    read_jsonl,
+    render_table,
+    snapshot_records,
+)
+
+__all__ = [
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "render_table",
+    "snapshot_records",
+    "flush",
+    "enable",
+    "disable",
+    "is_enabled",
+    "disabled",
+    "capture",
+    "inc",
+    "observe",
+    "gauge",
+    "span",
+    "registry",
+    "snapshot",
+    "merge_snapshot",
+    "reset",
+    "render",
+    "dump_jsonl",
+]
+
+#: ``REPRO_OBS=0`` pins the no-op path for the whole process (benchmarks).
+_FORCED_OFF = os.environ.get("REPRO_OBS", "").strip().lower() in (
+    "0", "false", "off", "no",
+)
+
+#: THE hot-path flag.  Kernels read this module attribute directly
+#: (``if obs._enabled:``) — one dict lookup + branch on the no-op path.
+_enabled: bool = (not _FORCED_OFF) and os.environ.get(
+    "REPRO_OBS", ""
+).strip().lower() in ("1", "true", "on", "yes")
+
+#: The process-wide registry every helper writes to.
+_REGISTRY = Metrics()
+
+
+# ----------------------------------------------------------------------
+# state control
+# ----------------------------------------------------------------------
+def enable() -> None:
+    """Turn recording on (no-op while force-disabled via ``REPRO_OBS=0``)."""
+    global _enabled
+    if not _FORCED_OFF:
+        _enabled = True
+
+
+def disable() -> None:
+    """Turn recording off (the helpers become no-ops)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def disabled():
+    """Force the no-op path within the block, restoring the prior state."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+@contextmanager
+def capture():
+    """Enable recording onto a *fresh* registry and yield it.
+
+    Restores the previous registry and enablement on exit; the hermetic
+    harness the test-suite uses::
+
+        with obs.capture() as metrics:
+            count_butterflies_blocked(g)
+        assert metrics.value("blocked.panels") > 0
+    """
+    global _enabled, _REGISTRY
+    previous_registry, previous_enabled = _REGISTRY, _enabled
+    fresh = Metrics()
+    _REGISTRY = fresh
+    if not _FORCED_OFF:
+        _enabled = True
+    try:
+        yield fresh
+    finally:
+        _REGISTRY = previous_registry
+        _enabled = previous_enabled
+
+
+# ----------------------------------------------------------------------
+# recording helpers (no-ops when disabled)
+# ----------------------------------------------------------------------
+def inc(name: str, value: int = 1) -> None:
+    """Add ``value`` to the counter ``name`` (no-op when disabled)."""
+    if _enabled:
+        _REGISTRY.inc(name, value)
+
+
+def observe(name: str, value) -> None:
+    """Record one sample into the histogram ``name`` (no-op when disabled)."""
+    if _enabled:
+        _REGISTRY.observe(name, value)
+
+
+def gauge(name: str, value) -> None:
+    """Set the gauge ``name`` (no-op when disabled)."""
+    if _enabled:
+        _REGISTRY.set(name, value)
+
+
+class _NoopSpan:
+    """Shared, stateless no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Timing span: records ``<name>.calls`` and ``<name>.seconds``."""
+
+    __slots__ = ("name", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        dt = _time.perf_counter() - self._t0
+        # re-check: obs may have been disabled inside the span
+        if _enabled:
+            _REGISTRY.inc(self.name + ".calls")
+            _REGISTRY.observe(self.name + ".seconds", dt)
+        return False
+
+
+def span(name: str):
+    """Context manager timing a region into ``name.calls``/``name.seconds``.
+
+    Returns a shared no-op object when disabled, so the disabled cost is
+    one call + one branch.  Spans nest freely (each records its own
+    wall-clock duration) and are thread-safe: state lives on the span
+    instance, aggregation goes through the locked registry.
+    """
+    if not _enabled:
+        return _NOOP_SPAN
+    return _Span(name)
+
+
+# ----------------------------------------------------------------------
+# registry access / transport
+# ----------------------------------------------------------------------
+def registry() -> Metrics:
+    """The live process-wide registry."""
+    return _REGISTRY
+
+
+def snapshot() -> dict[str, dict]:
+    """Plain-dict copy of the registry (picklable worker delta)."""
+    return _REGISTRY.snapshot()
+
+
+def merge_snapshot(delta: dict[str, dict]) -> None:
+    """Fold a worker's snapshot delta into the process registry.
+
+    Unlike the recording helpers this is **not** gated on ``_enabled``:
+    the owner decided to collect when it dispatched the tasks, and the
+    deltas must land even if recording was toggled meanwhile.
+    """
+    _REGISTRY.merge(delta)
+
+
+def reset() -> None:
+    """Clear the process-wide registry."""
+    _REGISTRY.reset()
+
+
+def render(title: str | None = None) -> str:
+    """Human table of the current registry."""
+    return render_table(_REGISTRY, title=title)
+
+
+def dump_jsonl(path, run: str | None = None, **meta) -> list[dict]:
+    """Append the current registry to ``path`` as JSON lines."""
+    return flush(_REGISTRY, JsonlSink(path), run=run, **meta)

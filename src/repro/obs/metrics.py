@@ -1,0 +1,254 @@
+"""Metric primitives and the thread-safe :class:`Metrics` registry.
+
+Three metric kinds, deliberately minimal (zero dependencies, exact
+integer counters, no background threads):
+
+- :class:`Counter` — monotonically increasing int64-exact total.
+- :class:`Gauge` — last-write-wins instantaneous value.
+- :class:`Histogram` — streaming summary (count / total / min / max) of
+  observed samples; what :func:`repro.obs.span` records durations into.
+
+The registry is the single aggregation point.  It is
+
+- **thread-safe**: every mutation takes one lock (the hot no-op path in
+  :mod:`repro.obs` never reaches the registry, so the lock is only paid
+  when observability is on), and
+- **process-safe by value**: worker processes accumulate into their own
+  registry and ship a :meth:`Metrics.snapshot` dict back over the
+  existing result path; the owner folds it in with :meth:`Metrics.merge`
+  (counters and histograms add, gauges take the incoming value).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+
+class Counter:
+    """A monotonic counter (exact Python ints — no float drift)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, value: int = 1) -> None:
+        self.value += value
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+    def merge_dict(self, record: dict) -> None:
+        self.value += record["value"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """An instantaneous value; merge semantics are last-write-wins."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+    def merge_dict(self, record: dict) -> None:
+        self.value = record["value"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Streaming summary of a sample stream: count, total, min, max.
+
+    Enough to answer "how many spans, how much time, how skewed" without
+    bucket bookkeeping; two histograms merge exactly (all four fields are
+    associative reductions), which is what makes the worker-delta path
+    loss-free.
+    """
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dict(self, record: dict) -> None:
+        self.count += record["count"]
+        self.total += record["total"]
+        for key in ("min", "max"):
+            incoming = record.get(key)
+            if incoming is None:
+                continue
+            current = getattr(self, key)
+            if current is None:
+                setattr(self, key, incoming)
+            elif key == "min":
+                self.min = min(current, incoming)
+            else:
+                self.max = max(current, incoming)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, total={self.total}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class Metrics:
+    """Thread-safe name → metric registry with snapshot/merge transport.
+
+    Names are free-form dotted strings (``"executor.pool_healed"``);
+    the convention in this package is ``<layer>.<subsystem>.<what>`` so
+    sinks can group by prefix.  A name is bound to one metric kind for
+    the registry's lifetime; re-using it with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # creation / lookup
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._get(name, Counter).value += value
+
+    def set(self, name: str, value) -> None:
+        with self._lock:
+            self._get(name, Gauge).value = value
+
+    def observe(self, name: str, value) -> None:
+        with self._lock:
+            self._get(name, Histogram).observe(value)
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """A plain-dict copy of every metric — picklable, mergeable."""
+        with self._lock:
+            return {name: m.as_dict() for name, m in self._metrics.items()}
+
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (e.g. a worker's delta) into this registry.
+
+        Counters and histograms add; gauges take the incoming value.
+        """
+        with self._lock:
+            for name, record in snapshot.items():
+                cls = _KINDS[record["type"]]
+                self._get(name, cls).merge_dict(record)
+
+    def value(self, name: str, default=0):
+        """Convenience: the scalar value of a counter/gauge (tests, CLI)."""
+        metric = self.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.total
+        return metric.value
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """All counter values whose name starts with ``prefix``."""
+        with self._lock:
+            return {
+                name: m.value
+                for name, m in self._metrics.items()
+                if name.startswith(prefix) and isinstance(m, Counter)
+            }
+
+    def layers(self, names: Iterable[str] | None = None) -> set[str]:
+        """Distinct first-dot prefixes ("layers") of the registered names."""
+        source = self.names() if names is None else names
+        return {name.split(".", 1)[0] for name in source}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Metrics({len(self._metrics)} metrics)"

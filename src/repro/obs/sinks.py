@@ -1,0 +1,150 @@
+"""Pluggable sinks for :class:`repro.obs.Metrics` snapshots.
+
+Three sinks cover the three consumers:
+
+- :class:`MemorySink` — in-process record list, used by tests.
+- :class:`JsonlSink` — one JSON object per metric per flush, appended to
+  a file (``cli --metrics-out metrics.jsonl``; the bench job uploads the
+  file as a CI artifact).  Every record carries the flush's ``run`` id
+  and timestamp so multiple runs can share one file and still be
+  separated (or merged) later.
+- :func:`render_table` — the human renderer behind
+  ``repro-butterfly stats --from-metrics``.
+
+The JSONL format is intentionally trivial::
+
+    {"name": "executor.dispatch", "type": "counter", "value": 5,
+     "ts": 1754468000.1, "run": "a1b2c3", ...meta}
+
+so it greps, ``jq``-s, and round-trips back into a :class:`Metrics`
+registry via :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import time
+
+from repro.obs.metrics import Metrics
+
+__all__ = [
+    "MemorySink",
+    "JsonlSink",
+    "flush",
+    "snapshot_records",
+    "read_jsonl",
+    "render_table",
+]
+
+
+def snapshot_records(
+    snapshot: dict[str, dict], run: str | None = None, **meta
+) -> list[dict]:
+    """Flatten a registry snapshot into per-metric JSON-ready records."""
+    ts = time.time()
+    run = run or secrets.token_hex(4)
+    out = []
+    for name in sorted(snapshot):
+        record = {"name": name, **snapshot[name], "ts": ts, "run": run}
+        record.update(meta)
+        out.append(record)
+    return out
+
+
+class MemorySink:
+    """Collects flushed records in memory — the test double."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, records: list[dict]) -> None:
+        self.records.extend(records)
+
+    def names(self) -> set[str]:
+        return {r["name"] for r in self.records}
+
+
+class JsonlSink:
+    """Appends one JSON line per metric per flush to ``path``."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+
+    def emit(self, records: list[dict]) -> None:
+        with open(self.path, "a") as fh:
+            for record in records:
+                fh.write(json.dumps(record, default=_json_default))
+                fh.write("\n")
+
+
+def _json_default(obj):  # numpy scalars etc.
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serialisable: {obj!r}")  # pragma: no cover
+
+
+def flush(metrics: Metrics, sink, run: str | None = None, **meta) -> list[dict]:
+    """Snapshot ``metrics`` and emit the records through ``sink``."""
+    records = snapshot_records(metrics.snapshot(), run=run, **meta)
+    sink.emit(records)
+    return records
+
+
+def read_jsonl(path) -> Metrics:
+    """Re-aggregate a metrics JSONL file into a fresh registry.
+
+    Records merge with the registry's usual semantics (counters and
+    histograms add across runs, gauges keep the last record), so a file
+    holding several flushes renders as their union.
+    """
+    registry = Metrics()
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            name = record.pop("name")
+            registry.merge({name: record})
+    return registry
+
+
+def render_table(metrics: Metrics, title: str | None = None) -> str:
+    """Human-readable table of every metric, grouped by layer prefix."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    snapshot = metrics.snapshot()
+    if not snapshot:
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+    width = max(len(name) for name in snapshot)
+    previous_layer = None
+    for name in sorted(snapshot):
+        layer = name.split(".", 1)[0]
+        if layer != previous_layer:
+            if previous_layer is not None:
+                lines.append("")
+            previous_layer = layer
+        record = snapshot[name]
+        if record["type"] == "histogram":
+            count, total = record["count"], record["total"]
+            mean = total / count if count else 0.0
+            detail = (
+                f"count={count}  total={_fmt(total)}  mean={_fmt(mean)}  "
+                f"min={_fmt(record['min'])}  max={_fmt(record['max'])}"
+            )
+        else:
+            detail = _fmt(record["value"])
+        lines.append(f"{name:<{width}}  {record['type']:<9}  {detail}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -15,16 +15,25 @@ both across *every* parallel entry point in the package:
    garbage collected) so repeated sweeps over the same graph, e.g. the
    eight-invariant benchmark grid, publish once.
 
-Task messages are tiny: ``(meta, side, reference, strategy, lo, hi)``
-tuples.  Workers attach each named segment once, cache the attachment and
+Task messages are tiny: ``(meta, side, reference, strategy, lo, hi,
+collect)`` tuples.  Workers attach each named segment once, cache the
+attachment and
 the per-strategy scratch buffers, and evict least-recently-used segments
 beyond a small cap, so a long-lived pool serving a peeling fixpoint (one
 fresh subgraph per round) does not accumulate mappings.
 
 Failure containment: a broken pool (worker killed, fork failure) is
-rebuilt once per dispatch; if shared memory itself is unavailable the
-caller (:func:`repro.core.parallel.count_butterflies_parallel`) falls
-back to the seed pickling path.
+rebuilt once per dispatch — each heal bumps the ``executor.pool_healed``
+counter; if shared memory itself is unavailable the caller
+(:func:`repro.core.parallel.count_butterflies_parallel`) falls back to
+the seed pickling path (``parallel.shared_fallback``).
+
+Observability: every pool start / publish / dispatch / heal is recorded
+on the :mod:`repro.obs` registry, and when observability is enabled at
+dispatch time each task carries a ``collect`` flag — the worker resets
+its own registry, runs, and returns its metric snapshot alongside the
+result, which the owner folds back in (the "merge deltas through the
+result path" discipline; process-safe because nothing is shared).
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro import obs
 from repro._types import COUNT_DTYPE
 from repro.core.family import (
     Invariant,
@@ -106,11 +116,33 @@ def _strategy_state(entry, pivot_major, strategy: str, side_value):
     return state
 
 
-def _shm_count_range(args) -> int:
-    """Pool task: butterfly contribution of pivots ``[lo, hi)``."""
+def _collect_begin(collect: bool) -> None:
+    """Start a fresh metric-delta window in a pool worker.
+
+    Tasks within one worker run sequentially, so resetting the worker's
+    registry at task start makes the end-of-task snapshot exactly this
+    task's delta — the owner merges it through the result path.
+    """
+    if collect:
+        obs.reset()
+        obs.enable()
+
+
+def _collect_end(collect: bool):
+    return obs.snapshot() if collect else None
+
+
+def _shm_count_range(args) -> tuple:
+    """Pool task: butterfly contribution of pivots ``[lo, hi)``.
+
+    Returns ``(count, metric_delta_or_None)``; the delta is the worker's
+    :func:`repro.obs.snapshot` for this task when the owner dispatched
+    with observability on.
+    """
     from repro.core.parallel import _count_range
 
-    meta, side_value, reference_value, strategy, lo, hi = args
+    meta, side_value, reference_value, strategy, lo, hi, collect = args
+    _collect_begin(collect)
     entry = _attached(meta)
     _, csr, csc, _ = entry
     if side_value == Side.COLUMNS.value:
@@ -119,27 +151,31 @@ def _shm_count_range(args) -> int:
         pivot_major, complementary = csr, csc
     extra0, extra1 = _strategy_state(entry, pivot_major, strategy, side_value)
     if strategy == "scratch":
-        return _count_range(
+        value = _count_range(
             pivot_major, complementary, lo, hi,
             Reference(reference_value), strategy, scratch=extra0,
         )
-    return _count_range(
-        pivot_major, complementary, lo, hi,
-        Reference(reference_value), strategy, extra0, extra1,
-    )
+    else:
+        value = _count_range(
+            pivot_major, complementary, lo, hi,
+            Reference(reference_value), strategy, extra0, extra1,
+        )
+    return value, _collect_end(collect)
 
 
-def _shm_vertex_range(args):
+def _shm_vertex_range(args) -> tuple:
     """Pool task: per-vertex butterfly counts of pivots ``[lo, hi)``."""
     from repro.core.local_counts import vertex_counts_panel
 
-    meta, side_value, lo, hi = args
+    meta, side_value, lo, hi, collect = args
+    _collect_begin(collect)
     _, csr, csc, _ = _attached(meta)
     if side_value == Side.COLUMNS.value:
         pivot_major, complementary = csc, csr
     else:
         pivot_major, complementary = csr, csc
-    return lo, vertex_counts_panel(pivot_major, complementary, lo, hi)
+    counts = vertex_counts_panel(pivot_major, complementary, lo, hi)
+    return lo, counts, _collect_end(collect)
 
 
 # ----------------------------------------------------------------------
@@ -193,10 +229,13 @@ class ButterflyExecutor:
         #: id(csr matrix) -> (SharedGraphBuffers, weakref to the matrix)
         self._published: "OrderedDict[int, tuple]" = OrderedDict()
         self._publish_cache_size = 4
-        # telemetry for benchmarks / tests
+        # per-instance telemetry (kept for benchmarks / tests); every
+        # increment is mirrored onto the repro.obs registry under the
+        # ``executor.*`` names when observability is enabled
         self.pool_starts = 0
         self.publish_count = 0
         self.dispatch_count = 0
+        self.pool_healed = 0
         _EXECUTORS.add(self)
 
     # ------------------------------------------------------------------
@@ -208,6 +247,7 @@ class ButterflyExecutor:
         if self._pool is None:
             self._pool = cf.ProcessPoolExecutor(max_workers=self.n_workers)
             self.pool_starts += 1
+            obs.inc("executor.pool_starts")
         return self._pool
 
     def _publish(self, graph: BipartiteGraph) -> SharedGraphBuffers:
@@ -233,6 +273,8 @@ class ButterflyExecutor:
             buffers.unlink()
         buffers = SharedGraphBuffers.publish(graph)
         self.publish_count += 1
+        obs.inc("executor.publish")
+        obs.inc("executor.publish_bytes", buffers.nbytes)
 
         def _finalize(buffers=buffers, key=key, pub=weakref.ref(self)):
             ex = pub()
@@ -281,15 +323,21 @@ class ButterflyExecutor:
     def _map(self, fn, tasks):
         """Run ``fn`` over ``tasks`` on the warm pool, healing it once."""
         self.dispatch_count += 1
+        obs.inc("executor.dispatch")
+        obs.inc("executor.tasks", len(tasks))
         pool = self._ensure_pool()
         try:
-            return list(pool.map(fn, tasks))
+            with obs.span("executor.map"):
+                return list(pool.map(fn, tasks))
         except BrokenProcessPool:
             # heal: rebuild the pool once, re-dispatch (tasks are pure)
+            self.pool_healed += 1
+            obs.inc("executor.pool_healed")
             self._pool = None
             pool.shutdown(wait=False)
             pool = self._ensure_pool()
-            return list(pool.map(fn, tasks))
+            with obs.span("executor.map"):
+                return list(pool.map(fn, tasks))
 
     def count(
         self,
@@ -334,11 +382,17 @@ class ButterflyExecutor:
                 for lo, hi in ranges
             )
         meta = self._publish(graph).meta
+        collect = obs.is_enabled()
         tasks = [
-            (meta, side_e.value, reference.value, strategy, lo, hi)
+            (meta, side_e.value, reference.value, strategy, lo, hi, collect)
             for lo, hi in ranges
         ]
-        return sum(self._map(_shm_count_range, tasks))
+        total = 0
+        for value, delta in self._map(_shm_count_range, tasks):
+            total += value
+            if delta:
+                obs.merge_snapshot(delta)
+        return total
 
     def vertex_counts(
         self,
@@ -370,9 +424,12 @@ class ButterflyExecutor:
                 out[lo:hi] = vertex_counts_panel(pivot_major, complementary, lo, hi)
             return out
         meta = self._publish(graph).meta
-        tasks = [(meta, side_value, lo, hi) for lo, hi in ranges]
-        for lo, counts in self._map(_shm_vertex_range, tasks):
+        collect = obs.is_enabled()
+        tasks = [(meta, side_value, lo, hi, collect) for lo, hi in ranges]
+        for lo, counts, delta in self._map(_shm_vertex_range, tasks):
             out[lo : lo + len(counts)] = counts
+            if delta:
+                obs.merge_snapshot(delta)
         return out
 
     def __repr__(self) -> str:

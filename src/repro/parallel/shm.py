@@ -146,6 +146,12 @@ class SharedGraphBuffers:
         """The task-message handle: ``(name, n_left, n_right, nnz)``."""
         return (self.name, self.n_left, self.n_right, self.nnz)
 
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes of the segment (the published memcpy size)."""
+        *_, total = _offsets(self.n_left, self.n_right, self.nnz)
+        return total
+
     def matrices(self) -> tuple[PatternCSR, PatternCSC]:
         """Owner-side zero-copy (read-only) CSR/CSC views of the segment."""
         a, b, c, d = _views(self._shm.buf, self.n_left, self.n_right, self.nnz)

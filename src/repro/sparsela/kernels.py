@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro._types import COUNT_DTYPE, INDEX_DTYPE
 from repro.sparsela._compressed import CompressedPattern
 
@@ -63,7 +64,12 @@ def gather_slices(
     # gather index: for output position p in slice k,
     #   src[p] = starts[k] + (p - offsets[k])
     src = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=INDEX_DTYPE)
-    return indices[src]
+    out = indices[src]
+    if obs._enabled:  # one attr load + branch on the disabled path
+        obs.inc("kernels.gather.calls")
+        obs.inc("kernels.gather.items", total)
+        obs.inc("kernels.gather.bytes", int(out.nbytes + src.nbytes))
+    return out
 
 
 def multiplicity_counts(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -181,6 +187,19 @@ def _resolve_panel_method(
     return "scratch"
 
 
+def _record_panel_reduction(
+    chosen: str, owners_local: np.ndarray, endpoints: np.ndarray
+) -> None:
+    """Per-kernel op/byte counters keyed by the resolved ablation choice."""
+    obs.inc("kernels.panel.calls")
+    obs.inc(f"kernels.panel.method.{chosen}")
+    obs.inc("kernels.panel.wedges", int(endpoints.size))
+    obs.inc(
+        "kernels.panel.bytes",
+        int(np.asarray(endpoints).nbytes + np.asarray(owners_local).nbytes),
+    )
+
+
 def _owner_segment_bounds(owners_local: np.ndarray, n_pivots: int) -> np.ndarray:
     """Start offsets of each owner's contiguous run (length ``n_pivots+1``).
 
@@ -221,6 +240,8 @@ def panel_choose2_sum(
     chosen = _resolve_panel_method(
         method, n_pivots, n, endpoints.size, keyspace_cap
     )
+    if obs._enabled:
+        _record_panel_reduction(chosen, owners_local, endpoints)
     if chosen == "sort":
         keys = owners_local.astype(COUNT_DTYPE) * np.int64(n) + endpoints
         _, counts = np.unique(keys, return_counts=True)
@@ -270,6 +291,8 @@ def panel_choose2_per_owner(
     chosen = _resolve_panel_method(
         method, n_pivots, n, endpoints.size, keyspace_cap
     )
+    if obs._enabled:
+        _record_panel_reduction(chosen, owners_local, endpoints)
     if chosen == "sort":
         keys = owners_local.astype(COUNT_DTYPE) * np.int64(n) + endpoints
         uniq, counts = np.unique(keys, return_counts=True)

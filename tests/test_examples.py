@@ -1,5 +1,13 @@
-"""Every example script must run clean — they are executable documentation."""
+"""Every example script must run clean — they are executable documentation.
 
+Beyond "runs and prints something", the suite statically checks that each
+example has a run-instruction docstring, imports only the public package
+(plus a small stdlib/numpy allowlist — examples must never reach into
+private modules), and that the quickstart's report carries the numbers it
+claims to demonstrate.
+"""
+
+import ast
 import pathlib
 import subprocess
 import sys
@@ -9,6 +17,16 @@ import pytest
 EXAMPLES = sorted(
     (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
 )
+
+#: Top-level modules an example is allowed to import.  Keeping examples on
+#: the public ``repro`` facade is what makes them copy-pasteable docs.
+IMPORT_ALLOWLIST = {
+    "repro",
+    "numpy",
+    # stdlib commonly used for presentation
+    "argparse", "collections", "dataclasses", "itertools", "json", "math",
+    "os", "pathlib", "random", "sys", "tempfile", "textwrap", "time",
+}
 
 
 def test_examples_exist():
@@ -27,3 +45,53 @@ def test_example_runs_clean(script):
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must print their report"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_run_instructions(script):
+    tree = ast.parse(script.read_text())
+    doc = ast.get_docstring(tree)
+    assert doc, f"{script.name} needs a module docstring"
+    assert len(doc.split()) >= 5, f"{script.name} docstring is too thin"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(script):
+    tree = ast.parse(script.read_text())
+    offending = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            tops = [alias.name.split(".")[0] for alias in node.names]
+            mods = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import — never valid in an example
+                offending.append(f"relative import at line {node.lineno}")
+                continue
+            tops = [node.module.split(".")[0]]
+            mods = [node.module]
+        else:
+            continue
+        for top, mod in zip(tops, mods):
+            if top not in IMPORT_ALLOWLIST:
+                offending.append(mod)
+            elif any(part.startswith("_") for part in mod.split(".")):
+                offending.append(f"private module {mod}")
+    assert not offending, f"{script.name}: disallowed imports {offending}"
+
+
+def test_quickstart_reports_counts():
+    """The quickstart's printed report must actually contain the numbers
+    it demonstrates (a butterfly count) — not just run silently."""
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    out = proc.stdout.lower()
+    assert "butterfl" in out, "quickstart must mention butterflies"
+    assert any(ch.isdigit() for ch in proc.stdout), (
+        "quickstart must print at least one numeric result"
+    )

@@ -1,0 +1,205 @@
+"""Fault injection for the shared-memory executor.
+
+Three failure classes, each with a documented containment behaviour:
+
+- **Worker killed mid-dispatch** — the pool raises
+  ``BrokenProcessPool``; :meth:`ButterflyExecutor._map` rebuilds the pool
+  *once* and re-dispatches (tasks are pure), bumping ``pool_healed`` and
+  the ``executor.pool_healed`` metric.
+- **Publish failure** (``/dev/shm`` unavailable / quota) — the shared
+  path raises ``OSError`` on the owner side;
+  :func:`count_butterflies_parallel` falls back to the seed pickling
+  executor and records ``parallel.shared_fallback``.
+- **Worker-side attach failure** — the segment exists but a worker
+  cannot map it; the task's ``OSError`` propagates through the pool and
+  triggers the same documented fallback.
+
+The kill task lives at module level so the fork-based pool can pickle it
+by reference (``tests`` is a package).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    count_butterflies,
+    count_butterflies_parallel,
+    vertex_butterfly_counts,
+    vertex_butterfly_counts_parallel,
+)
+from repro.graphs import power_law_bipartite
+from repro.parallel import (
+    ButterflyExecutor,
+    shutdown_default_executors,
+)
+from repro.parallel.shm import SharedGraphBuffers
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _retire_shared_executors():
+    """Leave no warm default executor (and no published /dev/shm segment)
+    behind — the sharedmem suite asserts segment-leak-freedom globally."""
+    yield
+    shutdown_default_executors()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_bipartite(200, 300, 2000, seed=21)
+
+
+@pytest.fixture(scope="module")
+def expected(graph):
+    return count_butterflies(graph)
+
+
+def _die_if_flag(path: str) -> int:
+    """Pool task: SIGKILL-equivalent abort while the flag file exists.
+
+    The first worker to see the flag removes it and dies without cleanup
+    (``os._exit`` skips atexit and exception handling, like a crash); the
+    healed re-dispatch finds no flag and completes.
+    """
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        return 42
+    os._exit(1)
+
+
+# ----------------------------------------------------------------------
+# worker death mid-dispatch -> heal once, re-dispatch, succeed
+# ----------------------------------------------------------------------
+def test_worker_killed_mid_dispatch_heals_once(tmp_path, graph, expected):
+    flag = tmp_path / "die-now"
+    flag.touch()
+    with ButterflyExecutor(n_workers=2) as ex:
+        warm = ex.count(graph)  # warm the pool, publish the graph
+        assert warm == expected
+        assert (ex.pool_starts, ex.pool_healed) == (1, 0)
+
+        with obs.capture() as metrics:
+            results = ex._map(_die_if_flag, [str(flag)])
+
+        assert results == [42]
+        assert ex.pool_healed == 1
+        assert ex.pool_starts == 2  # the healed pool is a fresh start
+        assert not flag.exists()
+        assert metrics.value("executor.pool_healed") == 1
+        assert metrics.value("executor.pool_starts") == 1  # the rebuild
+
+        # the healed pool still computes correctly (fresh workers re-attach
+        # the published segment on demand)
+        assert ex.count(graph) == expected
+        assert ex.pool_starts == 2  # no further rebuilds
+
+
+def test_worker_killed_between_dispatches_heals_on_next(graph, expected):
+    with ButterflyExecutor(n_workers=2) as ex:
+        assert ex.count(graph) == expected
+        # crash one worker outside any dispatch: the executor only notices
+        # (and heals) when the next dispatch hits the broken pool
+        future = ex._pool.submit(os._exit, 1)
+        with contextlib.suppress(Exception):
+            future.result(timeout=30)
+        assert ex.count(graph) == expected
+        assert ex.pool_healed == 1
+
+
+def _always_die(_task) -> int:
+    os._exit(1)
+
+
+def test_persistent_killer_exhausts_single_heal(graph):
+    """A fault that survives the heal propagates: heal-once, not forever."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    with ButterflyExecutor(n_workers=2) as ex:
+        ex.count(graph)
+        with pytest.raises(BrokenProcessPool):
+            ex._map(_always_die, [0])
+        assert ex.pool_healed == 1
+        assert ex.pool_starts == 2  # initial + the single heal
+
+
+# ----------------------------------------------------------------------
+# publish failure -> documented fallback to the seed process executor
+# ----------------------------------------------------------------------
+def test_publish_failure_falls_back_to_process(monkeypatch, graph, expected):
+    shutdown_default_executors()  # drop any cached publication of `graph`
+
+    def _refuse(cls_graph):
+        raise OSError("simulated: shared memory unavailable")
+
+    monkeypatch.setattr(SharedGraphBuffers, "publish", staticmethod(_refuse))
+    try:
+        with obs.capture() as metrics:
+            got = count_butterflies_parallel(
+                graph, n_workers=2, executor="shared"
+            )
+        assert got == expected
+        assert metrics.value("parallel.shared_fallback") == 1
+        assert metrics.value("parallel.executor.shared") == 1
+    finally:
+        shutdown_default_executors()
+
+
+def test_publish_failure_vertex_counts_falls_back(monkeypatch, graph):
+    shutdown_default_executors()
+    monkeypatch.setattr(
+        SharedGraphBuffers,
+        "publish",
+        staticmethod(lambda g: (_ for _ in ()).throw(OSError("no shm"))),
+    )
+    try:
+        with obs.capture() as metrics:
+            got = vertex_butterfly_counts_parallel(
+                graph, side="left", n_workers=2, executor="shared"
+            )
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            got, vertex_butterfly_counts(graph, side="left")
+        )
+        assert metrics.value("parallel.shared_fallback") == 1
+    finally:
+        shutdown_default_executors()
+
+
+# ----------------------------------------------------------------------
+# worker-side attach failure -> same fallback, via the task exception
+# ----------------------------------------------------------------------
+def test_worker_attach_failure_falls_back(monkeypatch, graph, expected):
+    """Patch the attach hook *before* the pool forks, so every worker
+    inherits a broken attach path; the resulting OSError propagates
+    through ``pool.map`` and lands in the documented fallback."""
+    import repro.parallel.executor as executor_mod
+
+    shutdown_default_executors()  # force a fresh (post-patch) fork
+
+    def _broken_attach(meta):
+        raise OSError("simulated: cannot map segment")
+
+    monkeypatch.setattr(executor_mod, "attach_graph", _broken_attach)
+    try:
+        with obs.capture() as metrics:
+            got = count_butterflies_parallel(
+                graph, n_workers=2, executor="shared"
+            )
+        assert got == expected
+        assert metrics.value("parallel.shared_fallback") == 1
+    finally:
+        # the pooled workers inherited the broken attach; retire them so
+        # later tests get a clean default executor
+        shutdown_default_executors()
+
+
+def test_clean_state_after_fault_suite(graph, expected):
+    """After all injected faults, the default shared path works again."""
+    got = count_butterflies_parallel(graph, n_workers=2, executor="shared")
+    assert got == expected

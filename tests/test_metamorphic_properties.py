@@ -1,0 +1,209 @@
+"""Metamorphic properties of the butterfly counters (hypothesis-driven).
+
+Three relations that must hold for *every* bipartite graph, checked on
+randomly generated graphs (derandomized, so CI is reproducible) and
+replayed on a committed seed corpus of hand-picked shapes:
+
+- **Permutation invariance** — relabeling either vertex side is a
+  no-op for the global count, and per-vertex counts commute with the
+  permutation.
+- **Transpose** — invariant i on G equals invariant i±4 on Gᵀ
+  (columns family 1–4 <-> rows family 5–8).
+- **Duplicate-vertex delta** — appending a copy u' of left vertex u
+  (same neighborhood) adds exactly ``butterflies(u) + C(deg(u), 2)``
+  butterflies: the copies of u's butterflies plus the new (u, u') pairs.
+
+All three are anchored by a dense brute-force oracle property.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="metamorphic property tests need hypothesis"
+)
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core import (
+    count_butterflies,
+    count_butterflies_unblocked,
+    vertex_butterfly_counts,
+)
+from repro.graphs import BipartiteGraph
+
+SETTINGS = settings(
+    max_examples=40,
+    derandomize=True,  # CI-stable: examples derive from the test name
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: invariant i on G  ==  invariant i±4 on Gᵀ
+TRANSPOSE_MAP = {i: ((i + 3) % 8) + 1 for i in range(1, 9)}
+
+
+def _graph(edges, n_left: int, n_right: int) -> BipartiteGraph:
+    if not edges:
+        return BipartiteGraph.empty(n_left, n_right)
+    return BipartiteGraph(sorted(set(edges)), n_left=n_left, n_right=n_right)
+
+
+def _brute_force(g: BipartiteGraph) -> int:
+    dense = g.biadjacency_dense() > 0
+    total = 0
+    for u, v in combinations(range(g.n_left), 2):
+        shared = int(np.sum(dense[u] & dense[v]))
+        total += shared * (shared - 1) // 2
+    return total
+
+
+@st.composite
+def bipartite_graphs(draw, max_side: int = 7, max_edges: int = 24):
+    n_left = draw(st.integers(1, max_side))
+    n_right = draw(st.integers(1, max_side))
+    domain = [(u, v) for u in range(n_left) for v in range(n_right)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(domain),
+            unique=True,
+            max_size=min(max_edges, len(domain)),
+        )
+    )
+    return _graph(edges, n_left, n_right)
+
+
+# ----------------------------------------------------------------------
+# committed seed corpus — replayed explicitly, independent of hypothesis
+# ----------------------------------------------------------------------
+CORPUS = [
+    ("empty", [], 3, 4),
+    ("single_edge", [(0, 0)], 2, 2),
+    ("one_butterfly", [(0, 0), (0, 1), (1, 0), (1, 1)], 2, 2),
+    ("fan", [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)], 2, 3),
+    ("k33", [(u, v) for u in range(3) for v in range(3)], 3, 3),
+    ("star", [(0, v) for v in range(6)], 1, 6),
+    ("path", [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)], 4, 3),
+    ("two_blocks",
+     [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)],
+     4, 4),
+    ("skew", [(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1)], 5, 2),
+    ("near_complete",
+     [(u, v) for u in range(4) for v in range(4) if (u, v) != (3, 3)],
+     4, 4),
+]
+CORPUS_GRAPHS = [(name, _graph(e, m, n)) for name, e, m, n in CORPUS]
+
+
+# ----------------------------------------------------------------------
+# oracle anchor
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(g=bipartite_graphs())
+def test_count_matches_brute_force(g):
+    assert count_butterflies(g) == _brute_force(g)
+
+
+@pytest.mark.parametrize("name,g", CORPUS_GRAPHS, ids=[c[0] for c in CORPUS])
+def test_corpus_count_matches_brute_force(name, g):
+    assert count_butterflies(g) == _brute_force(g)
+
+
+# ----------------------------------------------------------------------
+# permutation invariance
+# ----------------------------------------------------------------------
+@st.composite
+def graphs_with_permutations(draw):
+    g = draw(bipartite_graphs())
+    left_perm = np.asarray(draw(st.permutations(range(g.n_left))))
+    right_perm = np.asarray(draw(st.permutations(range(g.n_right))))
+    return g, left_perm, right_perm
+
+
+@SETTINGS
+@given(gpp=graphs_with_permutations())
+def test_permutation_invariance(gpp):
+    g, left_perm, right_perm = gpp
+    h = g.relabel(left_perm, right_perm)
+    assert count_butterflies(h) == count_butterflies(g)
+    # per-vertex counts commute with the relabeling: new id of u is perm[u]
+    before = vertex_butterfly_counts(g, side="left")
+    after = vertex_butterfly_counts(h, side="left")
+    np.testing.assert_array_equal(after[left_perm], before)
+
+
+@pytest.mark.parametrize("name,g", CORPUS_GRAPHS, ids=[c[0] for c in CORPUS])
+def test_corpus_permutation_invariance(name, g):
+    left_perm = np.arange(g.n_left)[::-1].copy()
+    right_perm = np.roll(np.arange(g.n_right), 1)
+    h = g.relabel(left_perm, right_perm)
+    assert count_butterflies(h) == count_butterflies(g)
+    np.testing.assert_array_equal(
+        vertex_butterfly_counts(h, side="right")[right_perm],
+        vertex_butterfly_counts(g, side="right"),
+    )
+
+
+# ----------------------------------------------------------------------
+# transpose: columns family <-> rows family
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(g=bipartite_graphs(), invariant=st.integers(1, 8))
+def test_transpose_invariant_mapping(g, invariant):
+    gt = g.swap_sides()
+    assert count_butterflies_unblocked(g, invariant) == (
+        count_butterflies_unblocked(gt, TRANSPOSE_MAP[invariant])
+    )
+
+
+@pytest.mark.parametrize("name,g", CORPUS_GRAPHS, ids=[c[0] for c in CORPUS])
+@pytest.mark.parametrize("invariant", range(1, 9))
+def test_corpus_transpose_invariant_mapping(name, g, invariant):
+    gt = g.swap_sides()
+    assert count_butterflies_unblocked(g, invariant) == (
+        count_butterflies_unblocked(gt, TRANSPOSE_MAP[invariant])
+    )
+
+
+# ----------------------------------------------------------------------
+# duplicate-vertex insertion delta
+# ----------------------------------------------------------------------
+def _duplicate_left(g: BipartiteGraph, u: int) -> tuple[BipartiteGraph, int]:
+    """Append a copy of left vertex ``u``; returns (new graph, deg(u))."""
+    dense = g.biadjacency_dense() > 0
+    neighbours = np.nonzero(dense[u])[0]
+    edges = [(int(r), int(c)) for r, c in zip(*np.nonzero(dense))]
+    edges += [(g.n_left, int(v)) for v in neighbours]
+    return _graph(edges, g.n_left + 1, g.n_right), int(neighbours.size)
+
+
+@st.composite
+def graphs_with_vertex(draw):
+    g = draw(bipartite_graphs())
+    u = draw(st.integers(0, g.n_left - 1))
+    return g, u
+
+
+@SETTINGS
+@given(gu=graphs_with_vertex())
+def test_duplicate_vertex_delta(gu):
+    g, u = gu
+    h, deg = _duplicate_left(g, u)
+    bf_u = int(vertex_butterfly_counts(g, side="left")[u])
+    expected_delta = bf_u + deg * (deg - 1) // 2
+    assert count_butterflies(h) - count_butterflies(g) == expected_delta
+
+
+@pytest.mark.parametrize("name,g", CORPUS_GRAPHS, ids=[c[0] for c in CORPUS])
+def test_corpus_duplicate_vertex_delta(name, g):
+    for u in range(g.n_left):
+        h, deg = _duplicate_left(g, u)
+        bf_u = int(vertex_butterfly_counts(g, side="left")[u])
+        assert (
+            count_butterflies(h) - count_butterflies(g)
+            == bf_u + deg * (deg - 1) // 2
+        ), (name, u)
