@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-tables report examples clean all
+# Baseline payload for the bench-check regression gate (override with
+# e.g. `make bench-check BASELINE=artifacts/BENCH_parallel.json`).
+BASELINE ?= BENCH_baseline.json
+TOLERANCE ?= 0.15
+
+.PHONY: install test test-fast bench bench-quick bench-check bench-tables stats report examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -17,10 +22,18 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Machine-readable seed-vs-shared dispatch overhead (BENCH_parallel.json)
-# plus the observability stream (metrics.jsonl, uploaded by CI).  Run with
-# REPRO_OBS=0 to pin the obs no-op path for overhead comparisons.
+# plus the observability stream (metrics.jsonl + trace.json) and one
+# appended BENCH_history.jsonl record.  Run with REPRO_OBS=0 to pin the
+# obs no-op path for overhead comparisons.
 bench-quick:
-	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json --metrics-out metrics.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json --metrics-out metrics.jsonl --trace-out trace.json --history BENCH_history.jsonl
+
+# Perf-regression gate: compare the current BENCH_parallel.json against
+# $(BASELINE); exits non-zero on a >= $(TOLERANCE) regression.  CI runs
+# it with --warn-only (advisory on the noisy 1-CPU shared runner); the
+# exit-code path itself is unit-tested in tests/test_bench_history.py.
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) --current BENCH_parallel.json --tolerance $(TOLERANCE)
 
 stats:
 	PYTHONPATH=src $(PYTHON) -m repro.cli stats --from-metrics metrics.jsonl

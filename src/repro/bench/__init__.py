@@ -17,6 +17,17 @@ from repro.bench.results import (
     sweep_to_dict,
 )
 from repro.bench.workmodel import WorkProfile, work_profile, work_table
+from repro.bench.history import (
+    DEFAULT_TOLERANCE,
+    Verdict,
+    append_history,
+    compare as compare_bench,
+    compare_files,
+    flatten_metrics,
+    has_regression,
+    read_history,
+    render_verdicts,
+)
 
 __all__ = [
     "Sweep",
@@ -40,4 +51,13 @@ __all__ = [
     "load_run",
     "RunComparison",
     "compare_runs",
+    "DEFAULT_TOLERANCE",
+    "Verdict",
+    "append_history",
+    "compare_bench",
+    "compare_files",
+    "flatten_metrics",
+    "has_regression",
+    "read_history",
+    "render_verdicts",
 ]

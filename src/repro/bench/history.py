@@ -1,0 +1,281 @@
+"""Benchmark history and the perf-regression gate.
+
+Two jobs, one module:
+
+1. **History** — :func:`append_history` appends one JSON line per
+   ``make bench-quick`` run to ``BENCH_history.jsonl`` (timestamp, run id,
+   host facts, the flattened metric dict), so CI accumulates a
+   machine-readable per-commit performance series next to the raw
+   ``BENCH_parallel.json`` artifact.
+2. **Comparison** — :func:`compare` takes a baseline payload (the
+   previous run's ``BENCH_parallel.json``) and the current one, flattens
+   both to dotted numeric keys, and produces per-metric verdict rows;
+   :func:`render_verdicts` prints the table behind
+   ``repro-butterfly bench --compare BASELINE.json`` and
+   :func:`has_regression` drives its exit code.
+
+Direction heuristics (deliberately name-based, so new bench fields get a
+sane default without touching this module): a metric whose leaf name
+contains ``ratio`` is **higher-better** (the overhead-reduction criterion
+ratios), one containing ``seconds`` or ``overhead`` is **lower-better**
+(timings), everything else — graph sizes, worker counts, telemetry — is
+**informational** and can never regress.  A directional metric regresses
+when it moves ≥ ``tolerance`` (relative) in the bad direction; moving
+≥ ``tolerance`` in the good direction reports ``improved``; anything in
+between is ``ok``.  Metrics present on only one side report ``added`` /
+``removed`` (informational).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import secrets
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "flatten_metrics",
+    "metric_direction",
+    "Verdict",
+    "compare",
+    "compare_files",
+    "render_verdicts",
+    "has_regression",
+    "append_history",
+    "read_history",
+    "DEFAULT_TOLERANCE",
+]
+
+#: Default relative tolerance for the regression gate (15%, generous
+#: enough for shared CI runners; tighten locally with ``--tolerance``).
+DEFAULT_TOLERANCE = 0.15
+
+#: Keys never compared even though numeric (run metadata, not results).
+_META_KEYS = frozenset({"cpu_count", "repeats", "n_workers"})
+
+
+# ----------------------------------------------------------------------
+# flattening + direction heuristics
+# ----------------------------------------------------------------------
+def flatten_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to dotted keys, keeping numeric leaves only.
+
+    ``{"dispatch_overhead": {"overhead_ratio": 8.0}}`` →
+    ``{"dispatch_overhead.overhead_ratio": 8.0}``.  Booleans, strings,
+    lists and None leaves are dropped — the verdict table compares
+    numbers.
+    """
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, name))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"`` / ``"lower"`` (better) or None for informational.
+
+    The *leaf* segment decides: ``ratio`` ⇒ higher-better, ``seconds`` or
+    ``overhead`` ⇒ lower-better, anything else ⇒ informational.
+    """
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if name.rsplit(".", 1)[-1] in _META_KEYS or leaf in _META_KEYS:
+        return None
+    if "ratio" in leaf:
+        return "higher"
+    if "seconds" in leaf or "overhead" in leaf:
+        return "lower"
+    return None
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Verdict:
+    """One row of the ``bench --compare`` table."""
+
+    name: str
+    baseline: float | None
+    current: float | None
+    direction: str | None  # "higher" / "lower" / None
+    change: float | None  # relative (current/baseline - 1), None if n/a
+    status: str  # ok / regression / improved / info / added / removed
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status == "regression"
+
+
+def _status(direction, baseline, current, tolerance) -> tuple[str, float | None]:
+    if baseline is None:
+        return "added", None
+    if current is None:
+        return "removed", None
+    if baseline == 0:
+        return ("info", None) if direction is None else ("ok", None)
+    change = current / baseline - 1.0
+    if direction is None:
+        return "info", change
+    bad = change > tolerance if direction == "lower" else change < -tolerance
+    good = change < -tolerance if direction == "lower" else change > tolerance
+    if bad:
+        return "regression", change
+    if good:
+        return "improved", change
+    return "ok", change
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Verdict]:
+    """Per-metric verdicts of ``current`` against ``baseline``.
+
+    Both arguments are bench payload dicts (``BENCH_parallel.json``
+    shape, but any nested numeric dict works).  Rows come back sorted by
+    name, regressions first within equal names never happens (names are
+    unique), so the rendering is deterministic.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    flat_base = flatten_metrics(baseline)
+    flat_cur = flatten_metrics(current)
+    rows: list[Verdict] = []
+    for name in sorted(set(flat_base) | set(flat_cur)):
+        b = flat_base.get(name)
+        c = flat_cur.get(name)
+        direction = metric_direction(name)
+        status, change = _status(direction, b, c, tolerance)
+        rows.append(
+            Verdict(
+                name=name,
+                baseline=b,
+                current=c,
+                direction=direction,
+                change=change,
+                status=status,
+            )
+        )
+    return rows
+
+
+def compare_files(
+    baseline_path,
+    current_path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Verdict]:
+    """:func:`compare` over two JSON payload files."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(current_path) as fh:
+        current = json.load(fh)
+    return compare(baseline, current, tolerance=tolerance)
+
+
+def has_regression(rows: list[Verdict]) -> bool:
+    """True when any row regressed — the non-zero-exit condition."""
+    return any(row.is_regression for row in rows)
+
+
+_STATUS_MARK = {
+    "ok": "ok",
+    "regression": "REGRESSION",
+    "improved": "improved",
+    "info": "·",
+    "added": "added",
+    "removed": "removed",
+}
+
+
+def render_verdicts(rows: list[Verdict], tolerance: float | None = None) -> str:
+    """Human verdict table (name / baseline / current / Δ% / verdict)."""
+    header = ("metric", "baseline", "current", "change", "verdict")
+    body = []
+    for row in rows:
+        body.append(
+            (
+                row.name,
+                _fmt_value(row.baseline),
+                _fmt_value(row.current),
+                _fmt_change(row.change),
+                _STATUS_MARK[row.status],
+            )
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(5)
+    ]
+    lines = []
+    if tolerance is not None:
+        lines.append(f"bench comparison (tolerance ±{tolerance:.0%})")
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(5)).rstrip())
+    n_reg = sum(r.is_regression for r in rows)
+    lines.append(
+        f"{len(rows)} metrics compared, {n_reg} regression"
+        + ("" if n_reg == 1 else "s")
+    )
+    return "\n".join(lines)
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _fmt_change(change) -> str:
+    if change is None:
+        return "-"
+    return f"{change:+.1%}"
+
+
+# ----------------------------------------------------------------------
+# history file
+# ----------------------------------------------------------------------
+def append_history(path, payload: dict, run: str | None = None, **meta) -> dict:
+    """Append one history record for ``payload`` to the JSONL at ``path``.
+
+    The record carries ``ts`` / ``run`` / host facts / ``meta`` plus the
+    flattened metric dict, so downstream tooling (and ``bench
+    --compare``'s trend printing) never re-parses nested payloads.
+    Returns the appended record.
+    """
+    record = {
+        "ts": time.time(),
+        "run": run or secrets.token_hex(4),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "benchmark": payload.get("benchmark"),
+        "metrics": flatten_metrics(payload),
+    }
+    record.update(meta)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record))
+        fh.write("\n")
+    return record
+
+
+def read_history(path) -> list[dict]:
+    """All history records in ``path``, oldest first."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -165,11 +165,21 @@ def main(argv=None) -> int:
         "PATH as JSON lines (the CI artifact; REPRO_OBS=0 force-disables "
         "so the no-op overhead criterion stays measurable)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable repro.obs and write the run's span tree to PATH as "
+        "Chrome trace-event JSON (Perfetto-loadable CI artifact)",
+    )
+    parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="append this run's flattened payload to a bench-history "
+        "JSONL (the `bench --compare` trend file)",
+    )
     args = parser.parse_args(argv)
 
     from repro import obs
 
-    if args.metrics_out:
+    if args.metrics_out or args.trace_out:
         obs.enable()
     payload = run_benchmark(
         n_workers=args.workers,
@@ -183,10 +193,17 @@ def main(argv=None) -> int:
             "distinct_names": len(records),
             "layers": sorted(obs.registry().layers()),
         }
+    if args.trace_out:
+        obs.dump_trace(args.trace_out, benchmark="parallel_bench")
+    if args.metrics_out or args.trace_out:
         obs.disable()
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+    if args.history:
+        from repro.bench.history import append_history
+
+        append_history(args.history, payload)
 
     d = payload["dispatch_overhead"]
     print(f"wrote {args.out}")

@@ -18,7 +18,22 @@ Fig. 9 stand-ins.
 Every command accepts a global ``--metrics-out PATH`` (before the
 subcommand): it enables :mod:`repro.obs` for the run and appends one JSON
 line per metric to PATH on exit — ``stats --from-metrics PATH`` renders
-the accumulated file as a human table.
+the accumulated file as a human table (``--run``/``--list-runs`` select
+a single flush out of a multi-run file).
+
+``--trace-out PATH`` (global, also accepted after ``count``) likewise
+enables observability and writes the run's span tree as Chrome
+trace-event JSON on exit; the whole command runs under a ``cli.<command>``
+root span, so the file loads in Perfetto as one tree — with
+``count --blocked`` the nesting is family → invariant → panel, and
+parallel runs re-parent worker spans under their dispatch span.
+
+``bench --compare BASELINE.json`` switches the bench subcommand into the
+perf-regression gate: the current payload (``--current``, default
+``BENCH_parallel.json``) is compared metric-by-metric against the
+baseline and the process exits non-zero on any ≥ ``--tolerance``
+regression (``--warn-only`` downgrades that to a warning for shared CI
+runners).
 """
 
 from __future__ import annotations
@@ -66,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability (repro.obs) and append one JSON line "
         "per metric to PATH when the command finishes",
     )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable observability and write the run's span tree to PATH "
+        "as Chrome trace-event JSON (load at https://ui.perfetto.dev)",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="print structural statistics")
@@ -99,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel executor used with --workers (default: shared — "
         "zero-copy shared-memory buffers on a warm process pool)",
     )
+    p_count.add_argument(
+        "--blocked",
+        action="store_true",
+        help="use the blocked (panel) member — with --trace-out the "
+        "trace nests family → invariant → panel",
+    )
+    p_count.add_argument(
+        "--block-size", type=int, default=64, metavar="B",
+        help="panel width for --blocked (default: 64)",
+    )
+    # SUPPRESS: a subparser default would overwrite the value the global
+    # --trace-out already parsed onto the namespace
+    p_count.add_argument(
+        "--trace-out", default=argparse.SUPPRESS, metavar="PATH",
+        help="write this run's span tree as Chrome trace-event JSON "
+        "(same as the global --trace-out, accepted after the subcommand)",
+    )
 
     p_peel = sub.add_parser("peel", help="k-tip / k-wing subgraph extraction")
     p_peel.add_argument("graph")
@@ -106,12 +145,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_peel.add_argument("--mode", choices=("tip", "wing"), default="tip")
     p_peel.add_argument("--side", choices=("left", "right"), default="left")
 
-    p_bench = sub.add_parser("bench", help="time all 8 invariants on a dataset")
+    p_bench = sub.add_parser(
+        "bench",
+        help="time all 8 invariants on a dataset, or compare two bench "
+        "payloads (--compare) as a perf-regression gate",
+    )
     p_bench.add_argument(
         "--dataset", choices=dataset_names(), default="arxiv"
     )
     p_bench.add_argument(
         "--strategy", choices=("adjacency", "scratch", "spmv"), default="adjacency"
+    )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="regression-gate mode: compare --current against this "
+        "baseline payload and exit non-zero on any regression",
+    )
+    p_bench.add_argument(
+        "--current", default="BENCH_parallel.json", metavar="CURRENT.json",
+        help="current bench payload for --compare "
+        "(default: BENCH_parallel.json)",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="relative regression tolerance for --compare "
+        "(default: 0.15 = 15%%)",
+    )
+    p_bench.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (advisory mode for noisy "
+        "shared CI runners)",
+    )
+    p_bench.add_argument(
+        "--history", default=None, metavar="HISTORY.jsonl",
+        help="append the --current payload to this bench-history JSONL "
+        "(one flattened record per run)",
     )
 
     p_dec = sub.add_parser(
@@ -153,8 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
         dest="from_metrics",
         required=True,
         metavar="PATH",
-        help="metrics.jsonl written by --metrics-out (runs are merged: "
-        "counters/histograms add, gauges keep the last record)",
+        help="metrics.jsonl written by --metrics-out (without --run the "
+        "runs are merged: counters/histograms add, gauges apply their "
+        "merge policy)",
+    )
+    p_stats.add_argument(
+        "--run", default=None, metavar="RUN",
+        help="render exactly one run id instead of merging every flush "
+        "in the file (see --list-runs)",
+    )
+    p_stats.add_argument(
+        "--list-runs", action="store_true",
+        help="print the distinct run ids in the file and exit",
     )
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable merged snapshot")
@@ -184,7 +262,16 @@ def _cmd_info(args) -> int:
 
 def _cmd_count(args) -> int:
     g = _load(args.graph)
-    if args.workers is not None:
+    if args.blocked:
+        from repro.core import count_butterflies_blocked
+
+        invariant = args.invariant if args.invariant is not None else 2
+        result = count_butterflies_blocked(
+            g, invariant, block_size=args.block_size
+        )
+        invariant_desc = str(invariant)
+        mode = f"blocked (b={args.block_size})"
+    elif args.workers is not None:
         from repro.core import count_butterflies_parallel
 
         result = count_butterflies_parallel(
@@ -241,6 +328,8 @@ def _cmd_peel(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.compare is not None or args.history is not None:
+        return _cmd_bench_gate(args)
     g = load_dataset(args.dataset)
     sweep = Sweep(title=f"dataset {args.dataset}, strategy {args.strategy}")
     for inv in ALL_INVARIANTS:
@@ -258,6 +347,52 @@ def _cmd_bench(args) -> int:
         return 1
     first = sweep.get(args.dataset, "Inv. 1")
     print(f"butterflies: {first.value}")
+    return 0
+
+
+def _cmd_bench_gate(args) -> int:
+    """``bench --compare`` / ``--history``: the perf-regression gate."""
+    import json
+
+    from repro.bench.history import (
+        DEFAULT_TOLERANCE,
+        append_history,
+        compare,
+        has_regression,
+        render_verdicts,
+    )
+
+    try:
+        with open(args.current) as fh:
+            current = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read current payload {args.current}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.history is not None:
+        record = append_history(args.history, current)
+        print(f"appended run {record['run']} "
+              f"({len(record['metrics'])} metrics) to {args.history}")
+    if args.compare is None:
+        return 0
+    try:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read baseline {args.compare}: {exc}",
+              file=sys.stderr)
+        return 2
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    rows = compare(baseline, current, tolerance=tolerance)
+    print(render_verdicts(rows, tolerance=tolerance))
+    if has_regression(rows):
+        if args.warn_only:
+            print("WARNING: regression detected (exit 0: --warn-only)",
+                  file=sys.stderr)
+            return 0
+        print("FAIL: performance regression beyond tolerance",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -323,13 +458,24 @@ def _cmd_algorithms(args) -> int:
 def _cmd_stats(args) -> int:
     from repro import obs
 
-    registry = obs.read_jsonl(args.from_metrics)
+    if args.list_runs:
+        for run in obs.jsonl_runs(args.from_metrics):
+            print(run)
+        return 0
+    try:
+        registry = obs.read_jsonl(args.from_metrics, run=args.run)
+    except ValueError as exc:  # unknown --run id
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = f"metrics: {args.from_metrics}"
+    if args.run is not None:
+        title += f" (run {args.run})"
     if args.json:
         import json
 
         print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
         return 0
-    print(obs.render_table(registry, title=f"metrics: {args.from_metrics}"))
+    print(obs.render_table(registry, title=title))
     return 0
 
 
@@ -347,15 +493,22 @@ def main(argv=None) -> int:
         "stats": _cmd_stats,
     }[args.command]
     metrics_out = getattr(args, "metrics_out", None)
-    if not metrics_out:
+    trace_out = getattr(args, "trace_out", None)
+    if not metrics_out and not trace_out:
         return handler(args)
     from repro import obs
 
     obs.enable()
     try:
-        return handler(args)
+        # root span: every command's trace renders as one cli.<command>
+        # tree (worker spans re-parent under their dispatch span inside)
+        with obs.span(f"cli.{args.command}", command=args.command):
+            return handler(args)
     finally:
-        obs.dump_jsonl(metrics_out, command=args.command)
+        if metrics_out:
+            obs.dump_jsonl(metrics_out, command=args.command)
+        if trace_out:
+            obs.dump_trace(trace_out, command=args.command)
         obs.disable()
         obs.reset()  # keep back-to-back in-process invocations hermetic
 

@@ -213,10 +213,27 @@ def count_butterflies_blocked(
             len(panels),
         )
     scratch = np.zeros(n, dtype=np.int64)
-    with obs.span("blocked.count"):
-        for lo, hi in panels:
-            total += panel_butterflies(
-                pivot_major, complementary, lo, hi, inv.reference,
-                method=method, scratch=scratch,
-            )
+    with obs.span(
+        "blocked.count",
+        invariant=inv.number,
+        method=method,
+        layout="adaptive" if work_budget is not None else "fixed",
+        panels=len(panels),
+    ):
+        if obs._enabled:
+            # traced variant: one child span per panel (invariant→panel
+            # nesting); kept off the disabled path so ``REPRO_OBS=0``
+            # pays nothing per panel beyond the loop itself
+            for lo, hi in panels:
+                with obs.span("blocked.panel", lo=lo, hi=hi):
+                    total += panel_butterflies(
+                        pivot_major, complementary, lo, hi, inv.reference,
+                        method=method, scratch=scratch,
+                    )
+        else:
+            for lo, hi in panels:
+                total += panel_butterflies(
+                    pivot_major, complementary, lo, hi, inv.reference,
+                    method=method, scratch=scratch,
+                )
     return total

@@ -346,10 +346,27 @@ def count_butterflies_unblocked(
     pivot_major, complementary = _matrices_for_side(graph, inv.side)
     n = pivot_major.major_dim
     if obs._enabled:
-        obs.inc("family.count.calls")
         obs.inc(f"family.invariant.{inv.number}")
         obs.inc(f"family.strategy.{strategy}")
         obs.inc("family.pivots", n)
+    # the span subsumes the old flat ``family.count.calls`` counter (its
+    # exit records ``family.count.calls`` + ``family.count.seconds``) and
+    # contributes the family→invariant trace node
+    with obs.span(
+        "family.count",
+        invariant=inv.number,
+        strategy=strategy,
+        side=inv.side.name.lower(),
+        pivots=n,
+    ):
+        return _count_unblocked_body(
+            pivot_major, complementary, inv, strategy, n, on_step
+        )
+
+
+def _count_unblocked_body(
+    pivot_major, complementary, inv, strategy, n, on_step
+) -> int:
     total = 0
     if strategy == "adjacency":
         for step, pivot in enumerate(pivot_order(n, inv.traversal)):

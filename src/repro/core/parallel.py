@@ -305,9 +305,24 @@ def count_butterflies_parallel(
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     if obs._enabled:
-        obs.inc("parallel.count.calls")
         obs.inc(f"parallel.executor.{executor}")
+    # the span subsumes the old flat ``parallel.count.calls`` counter and
+    # is the ancestor every ``executor.map`` dispatch span nests under
+    with obs.span(
+        "parallel.count",
+        executor=executor,
+        workers=n_workers,
+        strategy=strategy,
+    ):
+        return _count_parallel_body(
+            graph, n_workers, side, executor, chunks_per_worker,
+            invariant, strategy,
+        )
 
+
+def _count_parallel_body(
+    graph, n_workers, side, executor, chunks_per_worker, invariant, strategy
+) -> int:
     if executor == "shared" and n_workers > 1:
         try:
             from repro.parallel import get_default_executor

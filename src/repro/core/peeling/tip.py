@@ -115,10 +115,10 @@ def k_tip(
     kept = np.ones(n_side, dtype=bool)
     current = graph
     rounds = 0
-    with obs.span("peel.tip"):
+    with obs.span("peel.tip", k=k, side=side) as tip_span:
         while True:
             rounds += 1
-            with obs.span("peel.tip.round"):
+            with obs.span("peel.tip.round", round=rounds):
                 counts = counts_of(current)
             # vertices already peeled have zero rows, hence zero counts;
             # only demand >= k of the still-present vertices
@@ -145,7 +145,10 @@ def k_tip(
             counts = counts_of(current)
             kept = kept & (counts >= k)
         if obs._enabled:
-            obs.gauge("peel.tip.kept", int(kept.sum()))
+            # policy="sum": kept counts over disjoint vertex shards are
+            # additive, so worker-delta merges are order-independent
+            obs.gauge("peel.tip.kept", int(kept.sum()), policy="sum")
+            tip_span.set_attributes(rounds=rounds, kept=int(kept.sum()))
     return TipResult(subgraph=current, kept=kept, rounds=rounds, k=k, side=side)
 
 

@@ -67,10 +67,10 @@ def k_wing(graph: BipartiteGraph, k: int) -> WingResult:
         raise ValueError(f"k must be non-negative, got {k}")
     current = graph
     rounds = 0
-    with obs.span("peel.wing"):
+    with obs.span("peel.wing", k=k) as wing_span:
         while current.n_edges:
             rounds += 1
-            with obs.span("peel.wing.round"):
+            with obs.span("peel.wing.round", round=rounds):
                 support = edge_butterfly_support_blocked(current)  # per entry
             keep = support >= k  # eq. (26): M = S_w >= k
             if obs._enabled:
@@ -81,7 +81,10 @@ def k_wing(graph: BipartiteGraph, k: int) -> WingResult:
             # eq. (27): A₁ = A₀ ∘ M — drop under-supported stored entries
             current = BipartiteGraph.from_csr(current.csr.mask_entries(keep))
         if obs._enabled:
-            obs.gauge("peel.wing.edges", int(current.n_edges))
+            # policy="sum": edge counts over disjoint shards are additive,
+            # so worker-delta merges are order-independent
+            obs.gauge("peel.wing.edges", int(current.n_edges), policy="sum")
+            wing_span.set_attributes(rounds=rounds, edges=int(current.n_edges))
     if rounds == 0:
         rounds = 1  # an edgeless graph is vacuously its own k-wing
     return WingResult(subgraph=current, rounds=rounds, k=k)

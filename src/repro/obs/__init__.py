@@ -1,23 +1,27 @@
-"""repro.obs — zero-dependency observability (counters, timers, spans).
+"""repro.obs — zero-dependency observability (metrics, spans, traces).
 
-One process-wide :class:`Metrics` registry, mutated through module-level
-helpers that compile down to *one attribute load and one branch* when
-observability is off — the hot kernels call these directly, so the
-disabled path must cost nothing measurable (the acceptance bar is <2% on
-``make bench-quick``).
+One process-wide :class:`Metrics` registry plus one process-wide
+:class:`~repro.obs.trace.Tracer` ring buffer, mutated through
+module-level helpers that compile down to *one attribute load and one
+branch* when observability is off — the hot kernels call these directly,
+so the disabled path must cost nothing measurable (the acceptance bar is
+<2% on ``make bench-quick``).
 
 Usage::
 
     from repro import obs
 
     obs.enable()                        # or REPRO_OBS=1 in the environment
-    with obs.span("blocked.count"):     # -> blocked.count.{calls,seconds}
-        ...
+    with obs.span("blocked.count", invariant=2) as sp:
+        sp.add_event("panel", lo=0, hi=64)   # -> a node in the trace tree
+        ...                             # -> blocked.count.{calls,seconds}
     obs.inc("kernels.panel.wedges", endpoints.size)
-    obs.gauge("peel.tip.kept", int(kept.sum()))
+    obs.gauge("peel.tip.kept", int(kept.sum()), policy="sum")
 
     print(obs.render())                 # human table
     obs.dump_jsonl("metrics.jsonl")     # one JSON line per metric
+    obs.dump_trace("trace.json")        # Chrome trace-event / Perfetto
+    server = obs.serve(port=9109)       # live GET /metrics + /trace
 
 State model
 -----------
@@ -27,11 +31,25 @@ State model
   under test does.
 - :func:`disabled` is a context manager forcing the no-op path for a
   region — the documented way to exclude a section from measurement.
-- :func:`capture` swaps in a **fresh registry**, enables, and yields it;
-  tests use it to observe a workload hermetically.
+- :func:`capture` swaps in a **fresh registry and a fresh tracer**,
+  enables, and yields the registry; tests use it to observe a workload
+  hermetically (read the trace via :func:`trace_records` inside the
+  block).
+
+Tracing
+-------
+:func:`span` upgraded in place in PR 3: the same call sites that used to
+produce only flat ``name.calls``/``name.seconds`` aggregates now *also*
+yield a :class:`~repro.obs.trace.Span` — trace/span ids, the enclosing
+span as parent (``contextvars``-propagated), attributes, events and a
+terminal status — recorded into a bounded ring buffer on exit.  Worker
+processes ship their span records back inside the metric delta
+(:func:`worker_delta`) and the owner re-parents them under the
+dispatching span via :func:`merge_snapshot`, so one parallel count
+renders as a single tree in Perfetto.
 
 Worker processes (the shared-memory executor pool) accumulate into their
-own registry and return a :func:`snapshot` delta through the existing
+own registry and return a :func:`worker_delta` through the existing
 result path; the owner folds it back with :func:`merge_snapshot` — see
 ``repro/parallel/executor.py``.
 """
@@ -39,17 +57,31 @@ result path; the owner folds it back with :func:`merge_snapshot` — see
 from __future__ import annotations
 
 import os
-import time as _time
 from contextlib import contextmanager
 
-from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.metrics import GAUGE_POLICIES, Counter, Gauge, Histogram, Metrics
 from repro.obs.sinks import (
     JsonlSink,
     MemorySink,
     flush,
+    jsonl_runs,
     read_jsonl,
     render_table,
     snapshot_records,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    adopt_spans,
+    current_span,
+    span_tree,
+)
+from repro.obs.export import (
+    ObsServer,
+    chrome_trace,
+    parse_prometheus,
+    render_prometheus,
+    write_chrome_trace,
 )
 
 __all__ = [
@@ -57,10 +89,19 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "GAUGE_POLICIES",
+    "Span",
+    "Tracer",
+    "ObsServer",
     "MemorySink",
     "JsonlSink",
     "read_jsonl",
+    "jsonl_runs",
     "render_table",
+    "render_prometheus",
+    "parse_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
     "snapshot_records",
     "flush",
     "enable",
@@ -72,12 +113,20 @@ __all__ = [
     "observe",
     "gauge",
     "span",
+    "current_span",
+    "span_tree",
     "registry",
+    "tracer",
+    "trace_records",
+    "clear_trace",
     "snapshot",
+    "worker_delta",
     "merge_snapshot",
     "reset",
     "render",
     "dump_jsonl",
+    "dump_trace",
+    "serve",
 ]
 
 #: ``REPRO_OBS=0`` pins the no-op path for the whole process (benchmarks).
@@ -93,6 +142,12 @@ _enabled: bool = (not _FORCED_OFF) and os.environ.get(
 
 #: The process-wide registry every helper writes to.
 _REGISTRY = Metrics()
+
+#: The process-wide span ring buffer (bounded; see trace.Tracer).
+_TRACER = Tracer()
+
+#: Reserved key carrying span records inside a worker's metric delta.
+TRACE_DELTA_KEY = "__trace__"
 
 
 # ----------------------------------------------------------------------
@@ -129,25 +184,29 @@ def disabled():
 
 @contextmanager
 def capture():
-    """Enable recording onto a *fresh* registry and yield it.
+    """Enable recording onto a *fresh* registry (and tracer) and yield it.
 
-    Restores the previous registry and enablement on exit; the hermetic
-    harness the test-suite uses::
+    Restores the previous registry, tracer and enablement on exit; the
+    hermetic harness the test-suite uses::
 
         with obs.capture() as metrics:
             count_butterflies_blocked(g)
+            spans = obs.trace_records()     # read the trace inside
         assert metrics.value("blocked.panels") > 0
     """
-    global _enabled, _REGISTRY
+    global _enabled, _REGISTRY, _TRACER
     previous_registry, previous_enabled = _REGISTRY, _enabled
+    previous_tracer = _TRACER
     fresh = Metrics()
     _REGISTRY = fresh
+    _TRACER = Tracer()
     if not _FORCED_OFF:
         _enabled = True
     try:
         yield fresh
     finally:
         _REGISTRY = previous_registry
+        _TRACER = previous_tracer
         _enabled = previous_enabled
 
 
@@ -166,68 +225,90 @@ def observe(name: str, value) -> None:
         _REGISTRY.observe(name, value)
 
 
-def gauge(name: str, value) -> None:
-    """Set the gauge ``name`` (no-op when disabled)."""
+def gauge(name: str, value, policy: str | None = None) -> None:
+    """Set the gauge ``name`` (no-op when disabled).
+
+    ``policy`` (``"last"``/``"max"``/``"sum"``; default ``"last"``)
+    binds the gauge's cross-snapshot merge semantics at creation — see
+    :class:`~repro.obs.metrics.Gauge`.
+    """
     if _enabled:
-        _REGISTRY.set(name, value)
+        _REGISTRY.set(name, value, policy=policy)
 
 
 class _NoopSpan:
-    """Shared, stateless no-op context manager for the disabled path."""
+    """Shared, stateless no-op twin of :class:`Span` for the disabled path."""
 
     __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = None
+    parent_id = None
+    status = "ok"
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc):
         return False
+
+    def set_attribute(self, key, value):
+        return self
+
+    def set_attributes(self, **attrs):
+        return self
+
+    def add_event(self, name, **attrs):
+        return self
+
+    def abort(self):
+        return self
 
 
 _NOOP_SPAN = _NoopSpan()
 
 
-class _Span:
-    """Timing span: records ``<name>.calls`` and ``<name>.seconds``."""
-
-    __slots__ = ("name", "_t0")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._t0 = 0.0
-
-    def __enter__(self):
-        self._t0 = _time.perf_counter()
-        return self
-
-    def __exit__(self, *exc):
-        dt = _time.perf_counter() - self._t0
-        # re-check: obs may have been disabled inside the span
-        if _enabled:
-            _REGISTRY.inc(self.name + ".calls")
-            _REGISTRY.observe(self.name + ".seconds", dt)
-        return False
-
-
-def span(name: str):
-    """Context manager timing a region into ``name.calls``/``name.seconds``.
+def span(name: str, **attrs):
+    """Context manager timing a region into ``name.calls``/``name.seconds``
+    *and* (since PR 3) recording a trace node.
 
     Returns a shared no-op object when disabled, so the disabled cost is
-    one call + one branch.  Spans nest freely (each records its own
-    wall-clock duration) and are thread-safe: state lives on the span
-    instance, aggregation goes through the locked registry.
+    one call + one branch.  When enabled, yields a
+    :class:`~repro.obs.trace.Span`: the enclosing span becomes its
+    parent (``contextvars``-propagated, so nesting follows ``with``
+    nesting), ``attrs`` seed its attributes, and
+    ``set_attribute``/``add_event``/``abort`` enrich it before the exit
+    records both the flat metrics and the trace record.  Spans nest
+    freely and are thread-safe: state lives on the span instance,
+    aggregation goes through the locked registry and ring buffer.
     """
     if not _enabled:
         return _NOOP_SPAN
-    return _Span(name)
+    return Span(name, attrs)
 
 
 # ----------------------------------------------------------------------
-# registry access / transport
+# registry / tracer access + transport
 # ----------------------------------------------------------------------
 def registry() -> Metrics:
     """The live process-wide registry."""
     return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The live process-wide span ring buffer."""
+    return _TRACER
+
+
+def trace_records() -> list[dict]:
+    """Snapshot list (oldest first) of the completed span records."""
+    return _TRACER.records()
+
+
+def clear_trace() -> None:
+    """Drop every buffered span record."""
+    _TRACER.clear()
 
 
 def snapshot() -> dict[str, dict]:
@@ -235,19 +316,46 @@ def snapshot() -> dict[str, dict]:
     return _REGISTRY.snapshot()
 
 
-def merge_snapshot(delta: dict[str, dict]) -> None:
-    """Fold a worker's snapshot delta into the process registry.
+def worker_delta() -> dict[str, dict]:
+    """A worker task's full delta: metric snapshot + drained span records.
+
+    The span records travel under the reserved :data:`TRACE_DELTA_KEY`
+    key (drained, so consecutive tasks in one worker ship disjoint
+    windows); :func:`merge_snapshot` pops it back out on the owner side.
+    """
+    delta = _REGISTRY.snapshot()
+    spans = _TRACER.drain()
+    if spans:
+        delta[TRACE_DELTA_KEY] = {"type": "spans", "spans": spans}
+    return delta
+
+
+def merge_snapshot(
+    delta: dict[str, dict],
+    parent: tuple[str, str] | None = None,
+) -> None:
+    """Fold a worker's delta into the process registry (and trace).
 
     Unlike the recording helpers this is **not** gated on ``_enabled``:
     the owner decided to collect when it dispatched the tasks, and the
     deltas must land even if recording was toggled meanwhile.
+
+    ``parent`` is the ``(trace_id, span_id)`` of the dispatching span;
+    span records shipped inside the delta are re-parented under it (see
+    :func:`repro.obs.trace.adopt_spans`) so cross-process traces render
+    as one tree.
     """
+    trace_part = delta.get(TRACE_DELTA_KEY)
+    if trace_part is not None:
+        delta = {k: v for k, v in delta.items() if k != TRACE_DELTA_KEY}
+        _TRACER.extend(adopt_spans(trace_part.get("spans", []), parent))
     _REGISTRY.merge(delta)
 
 
 def reset() -> None:
-    """Clear the process-wide registry."""
+    """Clear the process-wide registry and the span ring buffer."""
     _REGISTRY.reset()
+    _TRACER.clear()
 
 
 def render(title: str | None = None) -> str:
@@ -258,3 +366,23 @@ def render(title: str | None = None) -> str:
 def dump_jsonl(path, run: str | None = None, **meta) -> list[dict]:
     """Append the current registry to ``path`` as JSON lines."""
     return flush(_REGISTRY, JsonlSink(path), run=run, **meta)
+
+
+def dump_trace(path, **meta) -> dict:
+    """Write the buffered trace as Chrome trace-event JSON to ``path``.
+
+    Load the file at https://ui.perfetto.dev or ``chrome://tracing``.
+    Returns the written payload (``{"traceEvents": [...], ...}``).
+    """
+    if _TRACER.dropped:
+        meta.setdefault("dropped_spans", _TRACER.dropped)
+    return write_chrome_trace(path, _TRACER.records(), **meta)
+
+
+def serve(port: int = 0, host: str = "127.0.0.1") -> ObsServer:
+    """Start the live scrape endpoint (``/metrics``, ``/trace``,
+    ``/healthz``) on a daemon thread; see :func:`repro.obs.export.serve`.
+    """
+    from repro.obs.export import serve as _serve
+
+    return _serve(port=port, host=host)

@@ -1,0 +1,302 @@
+"""Live exporters for :mod:`repro.obs`: Chrome trace JSON, Prometheus
+text exposition, and a zero-dependency stdlib HTTP scrape endpoint.
+
+Three consumers, three formats:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event (Perfetto-loadable) rendering of a span-record list; what
+  ``repro-butterfly count --trace-out trace.json`` and ``obs.dump_trace``
+  emit.  Every span becomes one complete (``"ph": "X"``) event with
+  microsecond timestamps; span events become instant (``"ph": "i"``)
+  events.  Load the file at https://ui.perfetto.dev or
+  ``chrome://tracing``.
+- :func:`render_prometheus` — the text-exposition rendering of a
+  :class:`~repro.obs.metrics.Metrics` registry: counters → ``counter``,
+  gauges → ``gauge``, histograms → ``summary`` (``_count``/``_sum``)
+  plus ``_min``/``_max`` gauges.  :func:`parse_prometheus` is the strict
+  line parser the round-trip test (and any scraper smoke check) uses.
+- :func:`serve` — a ``ThreadingHTTPServer`` on a daemon thread exposing
+  ``GET /metrics`` (Prometheus text), ``GET /trace`` (Chrome trace JSON
+  of the live ring buffer) and ``GET /healthz``; scrape a long peel or
+  bench run while it is running.  Stdlib only, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "render_prometheus",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "ObsServer",
+    "serve",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event / Perfetto JSON
+# ----------------------------------------------------------------------
+def chrome_trace_events(records: list[dict]) -> list[dict]:
+    """Span records → Chrome trace events, sorted by ascending ``ts``.
+
+    One complete event (``ph="X"``, required fields ``name/ph/ts/pid/tid``
+    plus ``dur``) per span; one instant event (``ph="i"``) per span
+    event.  Timestamps are microseconds on the span's own monotonic
+    clock; ``args`` carries the span/trace ids, status and attributes so
+    Perfetto's detail pane shows the full node.
+    """
+    events: list[dict] = []
+    for r in records:
+        args = {
+            "trace_id": r.get("trace_id"),
+            "span_id": r.get("span_id"),
+            "parent_id": r.get("parent_id"),
+            "status": r.get("status", "ok"),
+        }
+        args.update(r.get("attrs") or {})
+        events.append(
+            {
+                "name": r["name"],
+                "cat": r["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": r["ts"] * 1e6,
+                "dur": max(r.get("dur", 0.0), 0.0) * 1e6,
+                "pid": r.get("pid", 0),
+                "tid": r.get("tid", 0),
+                "args": args,
+            }
+        )
+        for ev in r.get("events") or ():
+            events.append(
+                {
+                    "name": f"{r['name']}:{ev['name']}",
+                    "cat": r["name"].split(".", 1)[0],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ev["ts"] * 1e6,
+                    "pid": r.get("pid", 0),
+                    "tid": r.get("tid", 0),
+                    "args": dict(ev.get("attrs") or {}),
+                }
+            )
+    events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    return events
+
+
+def chrome_trace(records: list[dict], **meta) -> dict:
+    """The JSON-object (dict) form of the Chrome trace for ``records``."""
+    payload = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        payload["otherData"] = {k: v for k, v in meta.items() if v is not None}
+    return payload
+
+
+def write_chrome_trace(path, records: list[dict], **meta) -> dict:
+    """Write the Chrome trace JSON for ``records`` to ``path``."""
+    payload = chrome_trace(records, **meta)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, default=_json_default)
+        fh.write("\n")
+    return payload
+
+
+def _json_default(obj):  # numpy scalars etc.
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+#: Valid Prometheus metric-name characters; everything else maps to "_".
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: ``name[{labels}] value [timestamp]`` — no labels are
+#: emitted by the renderer, but the parser tolerates (and ignores) them.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: (?P<ts>[0-9]+))?$"
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """``blocked.panel.wedges`` → ``repro_blocked_panel_wedges``."""
+    flat = _NAME_BAD.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not re.match(r"[a-zA-Z_:]", flat[0]):  # pragma: no cover - defensive
+        flat = "_" + flat
+    return flat
+
+
+def render_prometheus(metrics: Metrics, prefix: str = "repro") -> str:
+    """Text-exposition (version 0.0.4) rendering of ``metrics``.
+
+    Counters render as ``counter``, gauges as ``gauge``, histograms as
+    ``summary`` (``_count`` + ``_sum``) with ``_min``/``_max`` gauges
+    alongside — the four fields the exact streaming histogram keeps.
+    """
+    snapshot = metrics.snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        record = snapshot[name]
+        flat = sanitize_metric_name(name, prefix)
+        kind = record["type"]
+        if kind == "counter":
+            lines.append(f"# HELP {flat} repro.obs counter {name}")
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_num(record['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {flat} repro.obs gauge {name}")
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_num(record['value'])}")
+        else:  # histogram
+            lines.append(f"# HELP {flat} repro.obs histogram {name}")
+            lines.append(f"# TYPE {flat} summary")
+            lines.append(f"{flat}_count {_num(record['count'])}")
+            lines.append(f"{flat}_sum {_num(record['total'])}")
+            for bound in ("min", "max"):
+                value = record[bound]
+                if value is None:
+                    continue
+                lines.append(f"# TYPE {flat}_{bound} gauge")
+                lines.append(f"{flat}_{bound} {_num(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _num(value) -> str:
+    if hasattr(value, "item"):  # numpy scalar
+        value = value.item()
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Strict parser of the text exposition format → ``{name: value}``.
+
+    Raises ``ValueError`` on any line that is neither a ``#`` comment,
+    blank, nor a well-formed sample — the round-trip test feeds the
+    renderer's output through this to pin the format.
+    """
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        samples[m.group("name")] = float(m.group("value"))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# live scrape endpoint (stdlib http.server, daemon thread)
+# ----------------------------------------------------------------------
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        # resolved per request: capture()/reset() may swap the registry
+        from repro import obs
+
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(obs.registry()).encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path in ("/trace", "/trace.json"):
+            body = json.dumps(
+                chrome_trace(obs.trace_records()), default=_json_default
+            ).encode()
+            ctype = "application/json"
+        elif path == "/healthz":
+            body, ctype = b"ok\n", "text/plain; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics, /trace, /healthz)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # silence per-request stderr noise
+        pass
+
+
+class ObsServer:
+    """A running scrape endpoint; use :func:`serve` to construct one.
+
+    Context-manager friendly::
+
+        with obs.serve(port=0) as srv:     # port 0 = pick a free port
+            print(srv.url)                 # e.g. http://127.0.0.1:49321
+            ... long peel ...
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _ScrapeHandler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-serve",
+            daemon=True,
+        )
+
+    def start(self) -> "ObsServer":
+        self._thread.start()
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ObsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObsServer({self.url})"
+
+
+def serve(port: int = 0, host: str = "127.0.0.1") -> ObsServer:
+    """Start the scrape endpoint on a daemon thread and return its handle.
+
+    ``port=0`` binds a free ephemeral port (read it back from
+    ``server.port``).  The handler reads the *live* registry and tracer
+    on every request, so a scraper watches a run in real time; call
+    ``shutdown()`` (or use as a context manager) to stop.
+    """
+    return ObsServer(host=host, port=port).start()

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "GAUGE_POLICIES"]
 
 
 class Counter:
@@ -49,26 +49,59 @@ class Counter:
         return f"Counter({self.value})"
 
 
+#: Valid gauge merge policies (see :class:`Gauge`).
+GAUGE_POLICIES: tuple[str, ...] = ("last", "max", "sum")
+
+
 class Gauge:
-    """An instantaneous value; merge semantics are last-write-wins."""
+    """An instantaneous value with an explicit cross-snapshot merge policy.
+
+    ``set`` always overwrites — a gauge is instantaneous *within* one
+    process.  What ``policy`` governs is :meth:`merge_dict`, i.e. how
+    worker snapshot deltas (and multi-run JSONL files) fold together:
+
+    - ``"last"`` (default) — take the incoming value.  Correct when
+      exactly one process sets the gauge (the owner-side fixpoint gauges)
+      but **order-dependent** when several snapshots carry it, so prefer
+      an explicit policy for anything a worker might report.
+    - ``"max"`` — keep the maximum; deterministic under any merge order.
+    - ``"sum"`` — add; deterministic, and the right semantics for
+      shard-additive quantities (``peel.*.kept`` counts over disjoint
+      vertex shards).
+
+    The policy travels inside :meth:`as_dict`, so a registry that first
+    sees a gauge through ``merge`` adopts the sender's policy.
+    """
 
     kind = "gauge"
-    __slots__ = ("value",)
+    __slots__ = ("value", "policy")
 
-    def __init__(self) -> None:
+    def __init__(self, policy: str = "last") -> None:
+        if policy not in GAUGE_POLICIES:
+            raise ValueError(
+                f"unknown gauge policy {policy!r}; expected one of "
+                f"{GAUGE_POLICIES}"
+            )
         self.value = 0
+        self.policy = policy
 
     def set(self, value) -> None:
         self.value = value
 
     def as_dict(self) -> dict:
-        return {"type": self.kind, "value": self.value}
+        return {"type": self.kind, "value": self.value, "policy": self.policy}
 
     def merge_dict(self, record: dict) -> None:
-        self.value = record["value"]
+        incoming = record["value"]
+        if self.policy == "max":
+            self.value = max(self.value, incoming)
+        elif self.policy == "sum":
+            self.value += incoming
+        else:  # "last"
+            self.value = incoming
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Gauge({self.value})"
+        return f"Gauge({self.value}, policy={self.policy!r})"
 
 
 class Histogram:
@@ -162,13 +195,30 @@ class Metrics:
             )
         return metric
 
+    def _gauge_locked(self, name: str, policy: str | None) -> Gauge:
+        """Create-or-fetch a gauge; the policy binds at creation time."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Gauge(policy or "last")
+            self._metrics[name] = metric
+        elif not isinstance(metric, Gauge):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a gauge"
+            )
+        elif policy is not None and metric.policy != policy:
+            raise ValueError(
+                f"gauge {name!r} is bound to policy {metric.policy!r}; "
+                f"cannot rebind to {policy!r}"
+            )
+        return metric
+
     def counter(self, name: str) -> Counter:
         with self._lock:
             return self._get(name, Counter)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, policy: str | None = None) -> Gauge:
         with self._lock:
-            return self._get(name, Gauge)
+            return self._gauge_locked(name, policy)
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
@@ -196,9 +246,9 @@ class Metrics:
         with self._lock:
             self._get(name, Counter).value += value
 
-    def set(self, name: str, value) -> None:
+    def set(self, name: str, value, policy: str | None = None) -> None:
         with self._lock:
-            self._get(name, Gauge).value = value
+            self._gauge_locked(name, policy).value = value
 
     def observe(self, name: str, value) -> None:
         with self._lock:
@@ -225,7 +275,12 @@ class Metrics:
         with self._lock:
             for name, record in snapshot.items():
                 cls = _KINDS[record["type"]]
-                self._get(name, cls).merge_dict(record)
+                if cls is Gauge and name not in self._metrics:
+                    # adopt the sender's merge policy on first sight
+                    metric = self._gauge_locked(name, record.get("policy"))
+                else:
+                    metric = self._get(name, cls)
+                metric.merge_dict(record)
 
     def value(self, name: str, default=0):
         """Convenience: the scalar value of a counter/gauge (tests, CLI)."""

@@ -7,9 +7,12 @@ Three sinks cover the three consumers:
   a file (``cli --metrics-out metrics.jsonl``; the bench job uploads the
   file as a CI artifact).  Every record carries the flush's ``run`` id
   and timestamp so multiple runs can share one file and still be
-  separated (or merged) later.
+  separated (``read_jsonl(path, run=...)`` / ``jsonl_runs``) or merged
+  (the default) later.
 - :func:`render_table` — the human renderer behind
-  ``repro-butterfly stats --from-metrics``.
+  ``repro-butterfly stats --from-metrics``: layer-grouped, stable sort
+  order (plain lexicographic name sort), aligned columns, and
+  ``*.seconds`` histograms rendered in milliseconds.
 
 The JSONL format is intentionally trivial::
 
@@ -34,6 +37,7 @@ __all__ = [
     "flush",
     "snapshot_records",
     "read_jsonl",
+    "jsonl_runs",
     "render_table",
 ]
 
@@ -91,27 +95,74 @@ def flush(metrics: Metrics, sink, run: str | None = None, **meta) -> list[dict]:
     return records
 
 
-def read_jsonl(path) -> Metrics:
-    """Re-aggregate a metrics JSONL file into a fresh registry.
-
-    Records merge with the registry's usual semantics (counters and
-    histograms add across runs, gauges keep the last record), so a file
-    holding several flushes renders as their union.
-    """
-    registry = Metrics()
+def _iter_jsonl(path):
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            name = record.pop("name")
-            registry.merge({name: record})
+            yield json.loads(line)
+
+
+def jsonl_runs(path) -> list[str]:
+    """Distinct ``run`` ids in a metrics JSONL file, in first-seen order.
+
+    What ``repro-butterfly stats --from-metrics F --list-runs`` prints,
+    and the valid values for :func:`read_jsonl`'s ``run`` filter.
+    Records written without a run id report as ``"<none>"``.
+    """
+    runs: list[str] = []
+    seen: set[str] = set()
+    for record in _iter_jsonl(path):
+        run = str(record.get("run", "<none>"))
+        if run not in seen:
+            seen.add(run)
+            runs.append(run)
+    return runs
+
+
+def read_jsonl(path, run: str | None = None) -> Metrics:
+    """Re-aggregate a metrics JSONL file into a fresh registry.
+
+    By default every record in the file merges with the registry's usual
+    semantics (counters and histograms add across runs, gauges apply
+    their merge policy), so a file holding several flushes renders as
+    their union.  Pass ``run`` to select exactly one flush's records —
+    the ``stats --run`` path — instead of silently merging; an unknown
+    run id raises ``ValueError`` naming the available runs (see
+    :func:`jsonl_runs`).
+    """
+    registry = Metrics()
+    matched = run is None
+    for record in _iter_jsonl(path):
+        if run is not None and str(record.get("run", "<none>")) != run:
+            continue
+        matched = True
+        record = dict(record)
+        name = record.pop("name")
+        registry.merge({name: record})
+    if not matched:
+        available = ", ".join(jsonl_runs(path)) or "(file holds no records)"
+        raise ValueError(
+            f"run {run!r} not found in {path}; available runs: {available}"
+        )
     return registry
 
 
+#: Histogram field order in the rendered detail column.
+_HIST_FIELDS = ("count", "total", "mean", "min", "max")
+
+
 def render_table(metrics: Metrics, title: str | None = None) -> str:
-    """Human-readable table of every metric, grouped by layer prefix."""
+    """Human-readable table of every metric, grouped by layer prefix.
+
+    Stable output: names sort lexicographically (one deterministic order
+    per registry content), a blank line separates layer groups, and the
+    name/type/detail columns are padded to align.  Histograms whose name
+    ends in ``.seconds`` render their total/mean/min/max in milliseconds
+    (``12.3ms``) — durations at the scale :func:`repro.obs.span` records
+    are unreadable in scientific-notation seconds.
+    """
     lines = []
     if title:
         lines.append(title)
@@ -120,26 +171,56 @@ def render_table(metrics: Metrics, title: str | None = None) -> str:
     if not snapshot:
         lines.append("(no metrics recorded)")
         return "\n".join(lines)
-    width = max(len(name) for name in snapshot)
+
+    names = sorted(snapshot)
+    rows = {name: _detail_fields(name, snapshot[name]) for name in names}
+    # column widths: name, type, then each histogram field aligned
+    name_w = max(len(n) for n in names)
+    type_w = max(len(snapshot[n]["type"]) for n in names)
+    field_w = {
+        key: max(
+            (len(row[key]) for row in rows.values() if key in row),
+            default=0,
+        )
+        for key in _HIST_FIELDS
+    }
+
     previous_layer = None
-    for name in sorted(snapshot):
+    for name in names:
         layer = name.split(".", 1)[0]
         if layer != previous_layer:
             if previous_layer is not None:
                 lines.append("")
             previous_layer = layer
         record = snapshot[name]
+        row = rows[name]
         if record["type"] == "histogram":
-            count, total = record["count"], record["total"]
-            mean = total / count if count else 0.0
-            detail = (
-                f"count={count}  total={_fmt(total)}  mean={_fmt(mean)}  "
-                f"min={_fmt(record['min'])}  max={_fmt(record['max'])}"
-            )
+            detail = "  ".join(
+                f"{key}={row[key]:<{field_w[key]}}" for key in _HIST_FIELDS
+            ).rstrip()
         else:
-            detail = _fmt(record["value"])
-        lines.append(f"{name:<{width}}  {record['type']:<9}  {detail}")
+            detail = row["value"]
+        lines.append(
+            f"{name:<{name_w}}  {record['type']:<{type_w}}  {detail}"
+        )
     return "\n".join(lines)
+
+
+def _detail_fields(name: str, record: dict) -> dict[str, str]:
+    """Pre-format one metric's detail column fields (for width alignment)."""
+    if record["type"] != "histogram":
+        return {"value": _fmt(record["value"])}
+    count, total = record["count"], record["total"]
+    mean = total / count if count else 0.0
+    in_ms = name.endswith(".seconds")
+    fmt = _fmt_ms if in_ms else _fmt
+    return {
+        "count": str(count),
+        "total": fmt(total),
+        "mean": fmt(mean),
+        "min": fmt(record["min"]),
+        "max": fmt(record["max"]),
+    }
 
 
 def _fmt(value) -> str:
@@ -148,3 +229,10 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
+
+
+def _fmt_ms(value) -> str:
+    """Seconds → milliseconds with a unit suffix (``0.0123`` → ``12.3ms``)."""
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.4g}ms"

@@ -129,7 +129,11 @@ def _collect_begin(collect: bool) -> None:
 
 
 def _collect_end(collect: bool):
-    return obs.snapshot() if collect else None
+    """End the window: the task's metric snapshot *plus* its drained span
+    records (under :data:`repro.obs.TRACE_DELTA_KEY`) — see
+    :func:`repro.obs.worker_delta`.  The owner re-parents the spans under
+    the dispatching ``executor.map`` span when folding the delta back."""
+    return obs.worker_delta() if collect else None
 
 
 def _shm_count_range(args) -> tuple:
@@ -143,23 +147,24 @@ def _shm_count_range(args) -> tuple:
 
     meta, side_value, reference_value, strategy, lo, hi, collect = args
     _collect_begin(collect)
-    entry = _attached(meta)
-    _, csr, csc, _ = entry
-    if side_value == Side.COLUMNS.value:
-        pivot_major, complementary = csc, csr
-    else:
-        pivot_major, complementary = csr, csc
-    extra0, extra1 = _strategy_state(entry, pivot_major, strategy, side_value)
-    if strategy == "scratch":
-        value = _count_range(
-            pivot_major, complementary, lo, hi,
-            Reference(reference_value), strategy, scratch=extra0,
-        )
-    else:
-        value = _count_range(
-            pivot_major, complementary, lo, hi,
-            Reference(reference_value), strategy, extra0, extra1,
-        )
+    with obs.span("worker.count_range", lo=lo, hi=hi, strategy=strategy):
+        entry = _attached(meta)
+        _, csr, csc, _ = entry
+        if side_value == Side.COLUMNS.value:
+            pivot_major, complementary = csc, csr
+        else:
+            pivot_major, complementary = csr, csc
+        extra0, extra1 = _strategy_state(entry, pivot_major, strategy, side_value)
+        if strategy == "scratch":
+            value = _count_range(
+                pivot_major, complementary, lo, hi,
+                Reference(reference_value), strategy, scratch=extra0,
+            )
+        else:
+            value = _count_range(
+                pivot_major, complementary, lo, hi,
+                Reference(reference_value), strategy, extra0, extra1,
+            )
     return value, _collect_end(collect)
 
 
@@ -169,12 +174,13 @@ def _shm_vertex_range(args) -> tuple:
 
     meta, side_value, lo, hi, collect = args
     _collect_begin(collect)
-    _, csr, csc, _ = _attached(meta)
-    if side_value == Side.COLUMNS.value:
-        pivot_major, complementary = csc, csr
-    else:
-        pivot_major, complementary = csr, csc
-    counts = vertex_counts_panel(pivot_major, complementary, lo, hi)
+    with obs.span("worker.vertex_range", lo=lo, hi=hi):
+        _, csr, csc, _ = _attached(meta)
+        if side_value == Side.COLUMNS.value:
+            pivot_major, complementary = csc, csr
+        else:
+            pivot_major, complementary = csr, csc
+        counts = vertex_counts_panel(pivot_major, complementary, lo, hi)
     return lo, counts, _collect_end(collect)
 
 
@@ -236,6 +242,9 @@ class ButterflyExecutor:
         self.publish_count = 0
         self.dispatch_count = 0
         self.pool_healed = 0
+        #: (trace_id, span_id) of the most recent successful dispatch
+        #: span — the adoption parent for worker span records.
+        self._last_dispatch: tuple[str, str] | None = None
         _EXECUTORS.add(self)
 
     # ------------------------------------------------------------------
@@ -321,14 +330,32 @@ class ButterflyExecutor:
     # dispatch
     # ------------------------------------------------------------------
     def _map(self, fn, tasks):
-        """Run ``fn`` over ``tasks`` on the warm pool, healing it once."""
+        """Run ``fn`` over ``tasks`` on the warm pool, healing it once.
+
+        Each attempt runs under an ``executor.map`` span; a dispatch
+        killed by a broken pool marks its span ``aborted`` (recorded, not
+        dangling) before the heal-and-retry opens a fresh one.  The
+        ``(trace_id, span_id)`` of the *successful* attempt is stashed on
+        ``self._last_dispatch`` so the caller can re-parent the worker
+        span records shipped inside the metric deltas under it.
+        """
         self.dispatch_count += 1
         obs.inc("executor.dispatch")
         obs.inc("executor.tasks", len(tasks))
         pool = self._ensure_pool()
+        self._last_dispatch = None
         try:
-            with obs.span("executor.map"):
-                return list(pool.map(fn, tasks))
+            with obs.span(
+                "executor.map", tasks=len(tasks), workers=self.n_workers
+            ) as sp:
+                try:
+                    results = list(pool.map(fn, tasks))
+                except BrokenProcessPool:
+                    sp.abort()
+                    raise
+                if sp.span_id is not None:
+                    self._last_dispatch = (sp.trace_id, sp.span_id)
+                return results
         except BrokenProcessPool:
             # heal: rebuild the pool once, re-dispatch (tasks are pure)
             self.pool_healed += 1
@@ -336,8 +363,16 @@ class ButterflyExecutor:
             self._pool = None
             pool.shutdown(wait=False)
             pool = self._ensure_pool()
-            with obs.span("executor.map"):
-                return list(pool.map(fn, tasks))
+            with obs.span(
+                "executor.map",
+                tasks=len(tasks),
+                workers=self.n_workers,
+                healed=True,
+            ) as sp:
+                results = list(pool.map(fn, tasks))
+                if sp.span_id is not None:
+                    self._last_dispatch = (sp.trace_id, sp.span_id)
+                return results
 
     def count(
         self,
@@ -391,7 +426,7 @@ class ButterflyExecutor:
         for value, delta in self._map(_shm_count_range, tasks):
             total += value
             if delta:
-                obs.merge_snapshot(delta)
+                obs.merge_snapshot(delta, parent=self._last_dispatch)
         return total
 
     def vertex_counts(
@@ -429,7 +464,7 @@ class ButterflyExecutor:
         for lo, counts, delta in self._map(_shm_vertex_range, tasks):
             out[lo : lo + len(counts)] = counts
             if delta:
-                obs.merge_snapshot(delta)
+                obs.merge_snapshot(delta, parent=self._last_dispatch)
         return out
 
     def __repr__(self) -> str:

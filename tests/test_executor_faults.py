@@ -203,3 +203,85 @@ def test_clean_state_after_fault_suite(graph, expected):
     """After all injected faults, the default shared path works again."""
     got = count_butterflies_parallel(graph, n_workers=2, executor="shared")
     assert got == expected
+
+
+# ----------------------------------------------------------------------
+# trace propagation under faults (PR 3)
+# ----------------------------------------------------------------------
+def test_worker_kill_marks_dispatch_span_aborted(tmp_path, graph):
+    """A SIGKILL mid-dispatch must leave the dispatch span recorded as
+    ``aborted`` (not dangling), with the healed retry as a fresh span."""
+    from repro.obs.trace import span_tree
+
+    flag = tmp_path / "die-now-traced"
+    flag.touch()
+    with ButterflyExecutor(n_workers=2) as ex:
+        ex.count(graph)  # warm pool + publish outside the capture
+        with obs.capture():
+            results = ex._map(_die_if_flag, [str(flag)])
+            records = obs.trace_records()
+        assert results == [42]
+
+    maps = [r for r in records if r["name"] == "executor.map"]
+    assert len(maps) == 2, [r["name"] for r in records]
+    killed, healed = maps
+    assert killed["status"] == "aborted"
+    assert killed["attrs"].get("aborted") is True
+    assert healed["status"] == "ok"
+    assert healed["attrs"].get("healed") is True
+    # both spans are complete records: positive-duration, same pid/tid
+    assert killed["dur"] >= 0 and healed["dur"] >= 0
+    # nothing dangles: every recorded span resolves into the tree
+    tree = span_tree(records)
+    indexed = len(tree["roots"]) + sum(
+        len(ch) for ch in tree["children"].values()
+    )
+    assert indexed == len(records)
+
+
+def test_publish_failure_trace_is_single_tree(monkeypatch, graph, expected):
+    """The OSError fallback path must still emit one well-formed trace
+    tree rooted at ``parallel.count`` — no orphaned spans."""
+    from repro.obs.trace import span_tree
+
+    shutdown_default_executors()
+    monkeypatch.setattr(
+        SharedGraphBuffers,
+        "publish",
+        staticmethod(lambda g: (_ for _ in ()).throw(OSError("no shm"))),
+    )
+    try:
+        with obs.capture() as metrics:
+            got = count_butterflies_parallel(
+                graph, n_workers=2, executor="shared"
+            )
+            records = obs.trace_records()
+        assert got == expected
+        assert metrics.value("parallel.shared_fallback") == 1
+    finally:
+        shutdown_default_executors()
+
+    tree = span_tree(records)
+    assert len(tree["roots"]) == 1
+    root = tree["roots"][0]
+    assert root["name"] == "parallel.count"
+    assert root["status"] == "ok"
+    # every span shares the root's trace id — a single tree, not fragments
+    assert all(r["trace_id"] == root["trace_id"] for r in records)
+
+
+def test_worker_spans_reparented_under_dispatch(graph, expected):
+    """Happy-path cross-process adoption: worker spans ship through the
+    metric delta and re-parent under the owner's dispatch span."""
+    with ButterflyExecutor(n_workers=2) as ex:
+        with obs.capture():
+            assert ex.count(graph) == expected
+            records = obs.trace_records()
+
+    maps = [r for r in records if r["name"] == "executor.map"]
+    workers = [r for r in records if r["name"] == "worker.count_range"]
+    assert len(maps) == 1 and workers
+    for r in workers:
+        assert r["parent_id"] == maps[0]["span_id"]
+        assert r["trace_id"] == maps[0]["trace_id"]
+        assert r["attrs"]["worker_pid"] != os.getpid()

@@ -168,6 +168,70 @@ class TestSnapshotMerge:
 
 
 # ----------------------------------------------------------------------
+# gauge merge policies (PR 3 satellite: deterministic worker merges)
+# ----------------------------------------------------------------------
+class TestGaugePolicies:
+    def test_default_policy_is_last(self):
+        g = Gauge()
+        assert g.policy == "last"
+        assert g.as_dict() == {"type": "gauge", "value": 0, "policy": "last"}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown gauge policy"):
+            Gauge(policy="average")
+
+    def test_sum_policy_merges_order_independently(self):
+        """The ``peel.*.kept`` determinism criterion: shard-additive
+        gauges fold identically under any worker snapshot order."""
+        shards = []
+        for value in (7, 3, 5):
+            m = Metrics()
+            m.set("peel.tip.kept", value, policy="sum")
+            shards.append(m.snapshot())
+        forward, backward = Metrics(), Metrics()
+        for snap in shards:
+            forward.merge(snap)
+        for snap in reversed(shards):
+            backward.merge(snap)
+        assert forward.value("peel.tip.kept") == 15
+        assert backward.value("peel.tip.kept") == 15
+
+    def test_max_policy(self):
+        a = Metrics()
+        a.set("hi", 3, policy="max")
+        a.merge({"hi": {"type": "gauge", "value": 9, "policy": "max"}})
+        a.merge({"hi": {"type": "gauge", "value": 1, "policy": "max"}})
+        assert a.value("hi") == 9
+
+    def test_policy_adopted_on_first_sight_merge(self):
+        a = Metrics()
+        a.merge({"g": {"type": "gauge", "value": 4, "policy": "sum"}})
+        a.merge({"g": {"type": "gauge", "value": 6, "policy": "sum"}})
+        assert a.value("g") == 10
+        assert a.gauge("g").policy == "sum"
+
+    def test_policy_rebind_rejected(self):
+        m = Metrics()
+        m.set("g", 1, policy="sum")
+        with pytest.raises(ValueError, match="bound to policy"):
+            m.set("g", 2, policy="max")
+        # policy=None means "whatever it already is"
+        m.set("g", 2)
+        assert m.value("g") == 2
+
+    def test_set_always_overwrites_regardless_of_policy(self):
+        m = Metrics()
+        m.set("g", 5, policy="sum")
+        m.set("g", 2)
+        assert m.value("g") == 2  # policy governs merges, not set()
+
+    def test_obs_gauge_helper_passes_policy(self):
+        with obs.capture() as metrics:
+            obs.gauge("peel.test.kept", 4, policy="sum")
+        assert metrics.gauge("peel.test.kept").policy == "sum"
+
+
+# ----------------------------------------------------------------------
 # sinks
 # ----------------------------------------------------------------------
 class TestSinks:
