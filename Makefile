@@ -7,7 +7,7 @@ PYTHON ?= python
 BASELINE ?= BENCH_baseline.json
 TOLERANCE ?= 0.15
 
-.PHONY: install test test-fast bench bench-quick bench-check bench-tables stats report examples clean all
+.PHONY: install test test-fast bench bench-quick bench-check bench-tables calibrate stats report examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -34,6 +34,11 @@ bench-quick:
 # exit-code path itself is unit-tested in tests/test_bench_history.py.
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) --current BENCH_parallel.json --tolerance $(TOLERANCE)
+
+# Measure this machine's ns/op coefficients for the engine planner and
+# persist them (results/engine_calibration.json, or $$REPRO_CALIBRATION).
+calibrate:
+	PYTHONPATH=src $(PYTHON) -c "from repro.engine import calibrate; t = calibrate(); print('calibrated ->', t.source)"
 
 stats:
 	PYTHONPATH=src $(PYTHON) -m repro.cli stats --from-metrics metrics.jsonl

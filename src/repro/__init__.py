@@ -7,16 +7,23 @@ the k-tip / k-wing peeling built on the same formulation.
 
 Quick start::
 
-    from repro import count_butterflies, power_law_bipartite
+    from repro import count_butterflies, engine, power_law_bipartite
 
     g = power_law_bipartite(2000, 3000, 10_000, seed=1)
-    print(count_butterflies(g))                    # auto-picked invariant
-    print(count_butterflies(g, invariant=5))       # a specific family member
+    print(count_butterflies(g))           # cost-based auto pick
+    p = engine.plan(g, "count")           # the full planner …
+    print(engine.explain(p, g))           # … with its candidate table
+    print(p.execute(g))
+
+(the expert door to a specific family member is
+``count_butterflies_unblocked(g, 5)``).
 
 Package map:
 
 - :mod:`repro.core`      — specification, the 8-member family, blocked /
   parallel executors, per-vertex & per-edge counts, peeling.
+- :mod:`repro.engine`    — the unified Plan→Execute pipeline: cost-based
+  planner, per-machine calibration, ``explain``, single dispatch point.
 - :mod:`repro.sparsela`  — self-contained CSR/CSC/COO pattern-matrix
   substrate and the vectorised wedge kernels.
 - :mod:`repro.flame`     — partition views and executable loop invariants.
@@ -28,6 +35,7 @@ Package map:
 - :mod:`repro.bench`     — the harness behind the ``benchmarks/`` suite.
 """
 
+from repro import engine
 from repro.core import (
     ALL_INVARIANTS,
     INVARIANTS,
@@ -68,6 +76,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the Plan→Execute pipeline
+    "engine",
     # core counting
     "count_butterflies",
     "count_butterflies_unblocked",

@@ -16,9 +16,12 @@ Two jobs, one module:
 
 Direction heuristics (deliberately name-based, so new bench fields get a
 sane default without touching this module): a metric whose leaf name
-contains ``ratio`` is **higher-better** (the overhead-reduction criterion
-ratios), one containing ``seconds`` or ``overhead`` is **lower-better**
-(timings), everything else — graph sizes, worker counts, telemetry — is
+contains ``regret`` is **lower-better** (the engine planner's
+auto-plan-vs-best-member ratio; tested before the ratio rule), one whose
+leaf contains ``ratio`` is **higher-better** (the overhead-reduction
+criterion ratios), one containing ``seconds`` or ``overhead`` is
+**lower-better** (timings), everything else — graph sizes, worker
+counts, telemetry — is
 **informational** and can never regress.  A directional metric regresses
 when it moves ≥ ``tolerance`` (relative) in the bad direction; moving
 ≥ ``tolerance`` in the good direction reports ``improved``; anything in
@@ -88,6 +91,11 @@ def metric_direction(name: str) -> str | None:
     leaf = name.rsplit(".", 1)[-1].lower()
     if name.rsplit(".", 1)[-1] in _META_KEYS or leaf in _META_KEYS:
         return None
+    # planner regret (auto-plan time ÷ best hand-picked member) is a
+    # ratio-shaped metric where LOWER is better — decided before the
+    # generic ratio rule so "regret_ratio" spellings stay lower-better
+    if "regret" in leaf:
+        return "lower"
     if "ratio" in leaf:
         return "higher"
     if "seconds" in leaf or "overhead" in leaf:

@@ -132,16 +132,84 @@ def _throughput_section(n_workers: int, repeats: int) -> dict:
     }
 
 
+def _planner_regret_section(repeats: int) -> dict:
+    """Engine-planner regret: auto plan time ÷ best hand-picked member.
+
+    The auto path pays planning (graph stats + cost model) *and*
+    execution; the baseline is the best-of grid over the hand-picked
+    family members (invariants 2/6 × the three unblocked strategies,
+    plus the blocked panel kernel at its default width).  The planner
+    runs with a *measured* calibration table (``calibrate(repeats=1)``,
+    not persisted) — the shipped defaults are deliberately generic, and
+    this section grades the engine as deployed: calibrated once per
+    machine, then planning from the table.  Calibration happens outside
+    the timed region; per-plan cost with a provided table is ~0.4 ms.
+    A regret of 1.0 means the planner matched the oracle pick; values
+    < 1.0 mean it found a shape the grid missed (e.g. a better panel
+    width).  The ``regret`` key is flattened into
+    ``BENCH_history.jsonl`` and the ``bench --compare`` gate treats it
+    as lower-is-better.
+    """
+    from repro import engine
+    from repro.core import count_butterflies_blocked, count_butterflies_unblocked
+
+    g = power_law_bipartite(800, 1_000, 20_000, seed=9)
+    table = engine.calibrate(repeats=1, persist=False)
+
+    hand_picked: dict[str, float] = {}
+    expected = None
+    for number in (2, 6):
+        for strategy in ("adjacency", "scratch", "spmv"):
+            t, v = _best_of(
+                lambda n=number, s=strategy: count_butterflies_unblocked(
+                    g, n, strategy=s
+                ),
+                repeats,
+            )
+            hand_picked[f"inv{number}-{strategy}"] = t
+            if expected is None:
+                expected = v
+            assert v == expected, "family members disagree"
+        t, v = _best_of(
+            lambda n=number: count_butterflies_blocked(g, n, block_size=64),
+            repeats,
+        )
+        hand_picked[f"inv{number}-blocked-b64"] = t
+        assert v == expected
+
+    def auto():
+        return engine.plan(g, "count", calibration=table).execute(g)
+
+    t_auto, v_auto = _best_of(auto, repeats)
+    assert v_auto == expected, "auto plan disagrees with the family"
+    chosen = engine.plan(g, "count", calibration=table)
+    best_label, best_t = min(hand_picked.items(), key=lambda kv: kv[1])
+    return {
+        "graph": {
+            "generator": "power_law_bipartite(800, 1000, 20000, seed=9)",
+            "n_edges": g.n_edges,
+            "butterflies": expected,
+        },
+        "chosen_plan": chosen.label,
+        "calibrated": True,
+        "best_member": best_label,
+        "seconds_auto_per_call": t_auto,
+        "seconds_best_member": best_t,
+        "regret": t_auto / best_t,
+    }
+
+
 def run_benchmark(
     n_workers: int = 2, repeats: int = 5, throughput: bool = True
 ) -> dict:
-    """Run both sections and return the JSON-ready payload."""
+    """Run all sections and return the JSON-ready payload."""
     payload = {
         "benchmark": "parallel_sharedmem_dispatch",
         "n_workers": n_workers,
         "repeats": repeats,
         "cpu_count": os.cpu_count(),
         "dispatch_overhead": _dispatch_overhead_section(n_workers, repeats),
+        "planner_regret": _planner_regret_section(repeats),
     }
     if throughput:
         payload["throughput"] = _throughput_section(n_workers, repeats)
@@ -212,6 +280,13 @@ def main(argv=None) -> int:
     print(f"  seed process pool : {d['overhead_seed_seconds'] * 1e3:8.2f} ms/call")
     print(f"  shared warm pool  : {d['overhead_shared_seconds'] * 1e3:8.2f} ms/call")
     print(f"  ratio             : {d['overhead_ratio']:8.1f}x")
+    r = payload["planner_regret"]
+    print(f"planner regret ({r['graph']['n_edges']} edges):")
+    print(f"  auto plan [{r['chosen_plan']}] : "
+          f"{r['seconds_auto_per_call'] * 1e3:8.2f} ms/call")
+    print(f"  best member [{r['best_member']}] : "
+          f"{r['seconds_best_member'] * 1e3:8.2f} ms/call")
+    print(f"  regret            : {r['regret']:8.2f}x  (lower is better)")
     return 0
 
 

@@ -1,93 +1,21 @@
-"""Deterministic work model for the algorithm family.
+"""Deterministic work model for the algorithm family (compat re-export).
 
-Wall-clock measurements are hardware-bound; the *work counts* behind them
-are not.  This module computes, exactly and deterministically, the number
-of element operations each family member performs on a given graph under
-each strategy:
+The implementation now lives in :mod:`repro.core.workinfo`, the shared
+work-estimation layer that the parallel range balancer, the blocked
+work-budget panels, and the execution engine's cost-based planner all
+consume — this module re-exports the public names so existing bench
+imports keep working, and no longer reaches into ``repro.core.family``'s
+``_``-prefixed internals.
 
-- ``spmv``: per pivot, the update scans every stored entry of the
-  reference partition → work(pivot) = nnz(A₀) or nnz(A₂).
-- ``adjacency``: per pivot, the update expands the pivot's wedges →
-  work(pivot) = Σ_{x ∈ N(pivot)} deg(x), *independent of the reference
-  side* (filtering is per-expanded-element).
-
-Summed over the sweep these explain the paper's Fig. 10 analytically:
-under spmv the column and row families do ``n·nnz/2``-ish and
-``m·nnz/2``-ish total work, which is exactly the smaller-side rule.  The
-tests pin the model's closed forms, and the work-model benchmark prints
-the model next to measured seconds so the correlation is inspectable.
+See :mod:`repro.core.workinfo` for the model itself: exact per-pivot
+element-operation counts under the ``spmv`` (reference-partition scan)
+and ``adjacency``/``scratch`` (wedge expansion) strategies, summed into
+:class:`WorkProfile` records that explain the paper's Fig. 10 shapes
+analytically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.family import (
-    Invariant,
-    Reference,
-    Side,
-    _matrices_for_side,
-    _resolve_invariant,
-)
-from repro.core.parallel import pivot_work_estimate
-from repro.graphs.bipartite import BipartiteGraph
+from repro.core.workinfo import WorkProfile, work_profile, work_table
 
 __all__ = ["WorkProfile", "work_profile", "work_table"]
-
-
-@dataclass(frozen=True)
-class WorkProfile:
-    """Exact element-operation counts for one (graph, invariant, strategy)."""
-
-    invariant: int
-    strategy: str
-    #: number of loop iterations (pivots swept)
-    pivots: int
-    #: total element operations across the sweep
-    total_ops: int
-    #: largest single-pivot cost (the load-balancing worst case)
-    max_pivot_ops: int
-
-    @property
-    def mean_pivot_ops(self) -> float:
-        """Average per-iteration cost."""
-        return self.total_ops / self.pivots if self.pivots else 0.0
-
-
-def work_profile(
-    graph: BipartiteGraph, invariant, strategy: str = "spmv"
-) -> WorkProfile:
-    """Compute the exact work profile of one family member on ``graph``."""
-    inv: Invariant = _resolve_invariant(invariant)
-    pivot_major, complementary = _matrices_for_side(graph, inv.side)
-    n = pivot_major.major_dim
-    indptr = pivot_major.indptr
-    if strategy == "spmv":
-        # prefix reference: pivot p scans entries [0, indptr[p]);
-        # suffix reference: entries [indptr[p+1], nnz)
-        if inv.reference is Reference.PREFIX:
-            per_pivot = indptr[:-1].astype(np.int64)
-        else:
-            per_pivot = (indptr[-1] - indptr[1:]).astype(np.int64)
-    elif strategy == "adjacency":
-        per_pivot = pivot_work_estimate(pivot_major, complementary)
-    else:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; expected 'adjacency' or 'spmv'"
-        )
-    return WorkProfile(
-        invariant=inv.number,
-        strategy=strategy,
-        pivots=n,
-        total_ops=int(per_pivot.sum()),
-        max_pivot_ops=int(per_pivot.max()) if n else 0,
-    )
-
-
-def work_table(graph: BipartiteGraph, strategy: str = "spmv") -> dict[int, WorkProfile]:
-    """Work profiles of all eight invariants, keyed by invariant number."""
-    return {
-        k: work_profile(graph, k, strategy) for k in range(1, 9)
-    }

@@ -4,6 +4,7 @@
 
     repro-butterfly info       GRAPH [--json]   # structural statistics
     repro-butterfly count      GRAPH [options]  # exact butterfly count
+    repro-butterfly explain    GRAPH [options]  # engine plan table (no run)
     repro-butterfly peel       GRAPH --k K [--mode tip|wing] [--side left|right]
     repro-butterfly decompose  GRAPH [--mode tip|wing] [--top N]
     repro-butterfly bench      [--dataset NAME] # fig10-style sweep on a stand-in
@@ -102,10 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         choices=range(1, 9),
         default=None,
-        help="family member 1-8 (default: auto-select by smaller side)",
+        help="family member 1-8 (default: the engine's cost model chooses)",
     )
     p_count.add_argument(
-        "--strategy", choices=("adjacency", "scratch", "spmv"), default="adjacency"
+        "--strategy",
+        choices=("adjacency", "scratch", "spmv"),
+        default=None,
+        help="update strategy (default: the engine's cost model chooses)",
+    )
+    p_count.add_argument(
+        "--auto",
+        action="store_true",
+        help="open the full plan space (blocked panels and parallel pools "
+        "included) instead of the sequential family; prints the chosen "
+        "plan and threads it into --trace-out as engine.plan/execute "
+        "spans",
     )
     p_count.add_argument(
         "--workers",
@@ -128,8 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
         "trace nests family → invariant → panel",
     )
     p_count.add_argument(
-        "--block-size", type=int, default=64, metavar="B",
-        help="panel width for --blocked (default: 64)",
+        "--block-size", type=int, default=None, metavar="B",
+        help="panel width for --blocked (default: cost-model choice)",
     )
     # SUPPRESS: a subparser default would overwrite the value the global
     # --trace-out already parsed onto the namespace
@@ -144,6 +156,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_peel.add_argument("--k", type=int, required=True)
     p_peel.add_argument("--mode", choices=("tip", "wing"), default="tip")
     p_peel.add_argument("--side", choices=("left", "right"), default="left")
+    p_peel.add_argument(
+        "--auto",
+        action="store_true",
+        help="print the engine's round plan (kernel/block size/pool) "
+        "before peeling",
+    )
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="print the engine's scored plan table for a graph without "
+        "executing it",
+    )
+    p_explain.add_argument("graph")
+    p_explain.add_argument(
+        "--workload", choices=("count", "vertex-counts", "tip", "wing"),
+        default="count",
+    )
+    p_explain.add_argument("--k", type=int, default=None,
+                           help="peeling threshold for tip/wing workloads")
+    p_explain.add_argument("--side", choices=("left", "right"), default=None)
+    p_explain.add_argument(
+        "--invariant", type=int, choices=range(1, 9), default=None,
+        help="pin the family member (the planner decides the rest)",
+    )
+    p_explain.add_argument(
+        "--strategy",
+        choices=("adjacency", "scratch", "spmv", "blocked"),
+        default=None, help="pin the update strategy",
+    )
+    p_explain.add_argument(
+        "--executor", choices=("shared", "process", "thread", "serial"),
+        default=None, help="pin the executor",
+    )
+    p_explain.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="pin the pool size")
+    p_explain.add_argument("--block-size", type=int, default=None, metavar="B",
+                           help="pin the panel width")
+    p_explain.add_argument(
+        "--calibrate", action="store_true",
+        help="measure this machine's ns/op coefficients first (persisted "
+        "under results/, used by every later plan)",
+    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -260,70 +314,117 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_count(args) -> int:
-    g = _load(args.graph)
+def _count_plan_from_args(args, g):
+    """Translate the ``count`` flag set into one pinned engine plan.
+
+    Every hand-picked knob becomes a *pinned plan field* — there is no
+    separate code path per flag, just a smaller candidate table.
+    """
+    from repro import engine
+
     if args.blocked:
-        from repro.core import count_butterflies_blocked
+        return engine.plan(
+            g, "count", strategy="blocked", invariant=args.invariant,
+            block_size=args.block_size, executor="serial",
+        )
+    if args.workers is not None:
+        executor = args.executor if args.workers > 1 else "serial"
+        return engine.plan(
+            g, "count", invariant=args.invariant, strategy=args.strategy,
+            executor=executor, workers=args.workers,
+        )
+    if args.auto:  # full plan space: blocked/parallel candidates included
+        return engine.plan(
+            g, "count", invariant=args.invariant, strategy=args.strategy,
+            block_size=args.block_size,
+        )
+    # default: the sequential unblocked family, planner picks the member
+    return engine.plan(
+        g, "count", invariant=args.invariant, strategy=args.strategy,
+        family_only=True, executor="serial",
+    )
 
-        invariant = args.invariant if args.invariant is not None else 2
-        result = count_butterflies_blocked(
-            g, invariant, block_size=args.block_size
-        )
-        invariant_desc = str(invariant)
-        mode = f"blocked (b={args.block_size})"
-    elif args.workers is not None:
-        from repro.core import count_butterflies_parallel
 
-        result = count_butterflies_parallel(
-            g,
-            n_workers=args.workers,
-            executor=args.executor,
-            invariant=args.invariant,
-            strategy=args.strategy,
-        )
-        if args.invariant is None:
-            chosen = 2 if g.n_right <= g.n_left else 6
-            invariant_desc = f"auto (chose side of {chosen})"
-        else:
-            invariant_desc = str(args.invariant)
-        mode = f"parallel ({args.workers} workers, {args.executor})"
-    elif args.invariant is None:
-        result = count_butterflies(g, strategy=args.strategy)
-        chosen = 2 if g.n_right <= g.n_left else 6
-        invariant_desc = f"auto (chose {chosen})"
-        mode = "sequential"
-    else:
-        result = count_butterflies_unblocked(
-            g, args.invariant, strategy=args.strategy
-        )
+def _describe_mode(plan) -> str:
+    if plan.strategy == "blocked":
+        return f"blocked (b={plan.block_size})"
+    if plan.workers > 1 or plan.executor != "serial":
+        return f"parallel ({plan.workers} workers, {plan.executor})"
+    return "sequential"
+
+
+def _cmd_count(args) -> int:
+    from repro import engine
+
+    g = _load(args.graph)
+    plan = _count_plan_from_args(args, g)
+    result = engine.execute(plan, g)
+    if args.invariant is not None:
         invariant_desc = str(args.invariant)
-        mode = "sequential"
+    elif plan.invariant is not None:
+        invariant_desc = f"auto (chose {plan.invariant})"
+    else:
+        invariant_desc = "auto"
+    strategy_desc = plan.strategy if args.strategy is None else args.strategy
+    mode = _describe_mode(plan)
     if args.json:
         import json
 
         print(json.dumps({
             "invariant": invariant_desc,
-            "strategy": args.strategy,
+            "strategy": strategy_desc,
             "mode": mode,
+            "plan": plan.label,
             "butterflies": result,
         }))
         return 0
+    if args.auto:
+        print(f"plan       : {plan.label} — {plan.reason}")
     print(f"invariant  : {invariant_desc}")
-    print(f"strategy   : {args.strategy}")
+    print(f"strategy   : {strategy_desc}")
     print(f"mode       : {mode}")
     print(f"butterflies: {result}")
     return 0
 
 
 def _cmd_peel(args) -> int:
+    from repro import engine
+
     g = _load(args.graph)
+    plan = engine.plan(g, args.mode, side=args.side, k=args.k)
+    if args.auto:
+        print(f"plan       : {plan.label} — {plan.reason}")
     if args.mode == "tip":
-        res = k_tip(g, args.k, side=args.side)
+        res = k_tip(g, args.k, side=args.side, plan=plan)
         print(f"{args.k}-tip ({args.side} side): kept {res.n_kept} vertices, "
               f"{res.subgraph.n_edges} edges, {res.rounds} rounds")
     else:
-        res = k_wing(g, args.k)
+        res = k_wing(g, args.k, plan=plan)
         print(f"{args.k}-wing: kept {res.n_edges} edges, {res.rounds} rounds")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro import engine
+
+    g = _load(args.graph)
+    calibration = None
+    if args.calibrate:
+        calibration = engine.calibrate()
+        print(f"calibrated this machine -> {calibration.source}")
+    plan = engine.plan(
+        g,
+        args.workload,
+        invariant=args.invariant,
+        strategy=args.strategy,
+        executor=args.executor,
+        workers=args.workers,
+        block_size=args.block_size,
+        side=args.side,
+        k=args.k,
+        calibration=calibration,
+    )
+    print(engine.explain(plan, g, calibration=calibration))
     return 0
 
 
@@ -486,6 +587,7 @@ def main(argv=None) -> int:
         "info": _cmd_info,
         "count": _cmd_count,
         "peel": _cmd_peel,
+        "explain": _cmd_explain,
         "bench": _cmd_bench,
         "decompose": _cmd_decompose,
         "generate": _cmd_generate,

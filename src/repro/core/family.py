@@ -492,14 +492,28 @@ def suffix_wedge_butterflies(
 def count_butterflies(
     graph: BipartiteGraph,
     invariant=None,
-    strategy: str = "adjacency",
+    strategy: str | None = None,
     ordering: str | None = None,
+    *,
+    plan=None,
 ) -> int:
-    """Count butterflies, auto-selecting the family member when unspecified.
+    """Count butterflies, auto-planning the family member when unspecified.
 
-    When ``invariant`` is None the traversed side is chosen by the paper's
-    Section V rule — *partition the smaller of the two vertex sets* — using
-    the forward look-ahead member of that side (invariant 2 or 6).
+    The selection is routed through :mod:`repro.engine`: with no
+    arguments the cost-based planner chooses the (invariant, strategy)
+    pair among the sequential unblocked family members — the paper's
+    Section V smaller-side rule emerges from the planner's exact work
+    model rather than being hard-coded here.  ``plan`` accepts a
+    pre-built :class:`repro.engine.Plan` (the engine's own dispatch path
+    and power users).
+
+    .. deprecated::
+        Hand-picking ``invariant=`` / ``strategy=`` here is deprecated —
+        either let the planner choose, build a pinned plan via
+        ``repro.engine.plan(graph, invariant=..., strategy=...)``, or
+        call :func:`count_butterflies_unblocked` (the expert per-member
+        entry point, which stays).  Passing them still works and emits a
+        single :class:`DeprecationWarning`.
 
     ``ordering`` applies the paper's named future-work optimisation
     (Section VI, refs [3]/[12]) before counting:
@@ -514,9 +528,32 @@ def count_butterflies(
     value; only the traversal cost changes (measured in the ordering
     ablation benchmark).
     """
-    if invariant is None:
-        invariant = 2 if graph.n_right <= graph.n_left else 6
-    inv = _resolve_invariant(invariant)
+    if plan is not None and (invariant is not None or strategy is not None):
+        raise ValueError("pass either a plan or invariant/strategy, not both")
+    if invariant is not None or strategy is not None:
+        import warnings
+
+        warnings.warn(
+            "count_butterflies(graph, invariant=..., strategy=...) is "
+            "deprecated; use repro.engine.plan(graph, invariant=..., "
+            "strategy=...).execute(graph) or "
+            "count_butterflies_unblocked for hand-picked members",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    from repro import engine
+
+    if plan is None:
+        plan = engine.plan(
+            graph,
+            "count",
+            invariant=invariant,
+            strategy=strategy if strategy != "blocked" else None,
+            family_only=True,
+            executor="serial",
+        )
+    inv = _resolve_invariant(plan.invariant if plan.invariant is not None
+                             else (2 if graph.n_right <= graph.n_left else 6))
     if ordering is not None:
         if ordering not in ("degree", "degree-desc"):
             raise ValueError(
@@ -529,4 +566,6 @@ def count_butterflies(
         graph = order_side_by_degree(
             graph, side_name, descending=(ordering == "degree-desc")
         )
-    return count_butterflies_unblocked(graph, inv, strategy=strategy)
+        # the relabel changes nothing the plan depends on (degrees are
+        # permuted, not changed), so the chosen member stays valid
+    return engine.execute(plan.with_(invariant=inv.number), graph)

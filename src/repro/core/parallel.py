@@ -54,9 +54,9 @@ from repro.core.family import (
     _matrices_for_side,
     _resolve_invariant,
 )
+from repro.core.workinfo import pivot_work_estimate, spmv_scan_lengths
 from repro.graphs.bipartite import BipartiteGraph
 from repro.sparsela import PatternCSC, PatternCSR, expand_indptr
-from repro.sparsela.kernels import segment_sums
 
 __all__ = [
     "count_butterflies_parallel",
@@ -65,35 +65,6 @@ __all__ = [
     "spmv_scan_lengths",
     "balanced_ranges",
 ]
-
-
-def pivot_work_estimate(pivot_major, complementary) -> np.ndarray:
-    """Exact wedge-expansion work per pivot: Σ_{x ∈ N(p)} deg(x).
-
-    This is the number of wedge endpoints the adjacency-strategy update
-    fetches for pivot p — the dominant cost of that strategy.
-    """
-    comp_deg = np.diff(complementary.indptr)
-    per_entry = comp_deg[pivot_major.indices]
-    return segment_sums(per_entry, pivot_major.indptr)
-
-
-def spmv_scan_lengths(pivot_major, reference: Reference) -> np.ndarray:
-    """Exact reference-partition scan length per pivot for ``spmv``.
-
-    The spmv update scans every stored entry of the reference partition —
-    the *prefix* ``indices[0 : indptr[p]]`` or the *suffix*
-    ``indices[indptr[p+1] : nnz]`` — so the per-pivot cost is triangular
-    in the pivot index, not uniform: ``indptr[p]`` entries for the prefix
-    reference, ``nnz − indptr[p+1]`` for the suffix.  (The seed modelled
-    this as uniform ``np.ones``, which systematically overloads the
-    prefix-heavy end of each range.)
-    """
-    indptr = np.asarray(pivot_major.indptr, dtype=np.int64)
-    if reference is Reference.PREFIX:
-        return indptr[:-1].copy()
-    nnz = int(indptr[-1]) if indptr.size else 0
-    return nnz - indptr[1:]
 
 
 def _parallel_work_model(
@@ -347,7 +318,11 @@ def _count_parallel_body(
         side_e = inv.side
         reference = inv.reference
     elif side is None:
-        side_e = Side.COLUMNS if graph.n_right <= graph.n_left else Side.ROWS
+        # cost-model side choice (reduces to the paper's smaller-side rule
+        # on an uncalibrated machine) — one decision point for the repo
+        from repro.engine import select_count_invariant
+
+        side_e = _resolve_invariant(select_count_invariant(graph)).side
     elif isinstance(side, Side):
         side_e = side
     else:

@@ -77,8 +77,27 @@ def _peel_side_sizes(graph: BipartiteGraph, side: str) -> int:
     raise ValueError(f"side must be 'left' or 'right', got {side!r}")
 
 
+def _counts_kernel_from_plan(plan, side: str):
+    """Build the per-round counts callable a :class:`repro.engine.Plan`
+    describes: the warm parallel path when the plan asks for a pool, the
+    serial blocked kernel (at the plan's block size) otherwise."""
+    if plan.workers > 1 or plan.executor != "serial":
+        from repro.core.parallel import vertex_butterfly_counts_parallel
+
+        return lambda g: vertex_butterfly_counts_parallel(
+            g, side, n_workers=plan.workers, executor=plan.executor
+        )
+    block = plan.block_size or 128
+    return lambda g: vertex_butterfly_counts_blocked(g, side, block_size=block)
+
+
 def k_tip(
-    graph: BipartiteGraph, k: int, side: str = "left", executor=None
+    graph: BipartiteGraph,
+    k: int,
+    side: str = "left",
+    executor=None,
+    *,
+    plan=None,
 ) -> TipResult:
     """Batch k-tip peeling: iterate eqs. (19)–(22) until fixpoint.
 
@@ -97,7 +116,13 @@ def k_tip(
         every fixpoint round computes the per-vertex count vector on the
         executor's *warm* pool via shared-memory graph buffers — the
         multi-round loop pays pool startup zero times instead of once per
-        round.  ``None`` (default) keeps the serial blocked kernel.
+        round.  Overrides ``plan``.
+    plan:
+        Optional :class:`repro.engine.Plan` pinning the per-round counts
+        kernel (block size / pool shape).  When *both* ``executor`` and
+        ``plan`` are ``None`` the engine plans the rounds itself
+        (cost-based choice of block size, and of pool vs serial), which is
+        the behaviour every auto entry point gets.
 
     Returns
     -------
@@ -107,10 +132,14 @@ def k_tip(
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
-    if executor is None:
-        counts_of = lambda g: vertex_butterfly_counts_blocked(g, side)
-    else:
+    if executor is not None:
         counts_of = lambda g: executor.vertex_counts(g, side)
+    else:
+        if plan is None:
+            from repro import engine
+
+            plan = engine.plan(graph, "tip", side=side, k=k)
+        counts_of = _counts_kernel_from_plan(plan, side)
     n_side = _peel_side_sizes(graph, side)
     kept = np.ones(n_side, dtype=bool)
     current = graph

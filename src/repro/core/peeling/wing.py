@@ -46,7 +46,13 @@ class WingResult:
         return self.subgraph.n_edges
 
 
-def k_wing(graph: BipartiteGraph, k: int) -> WingResult:
+def k_wing(
+    graph: BipartiteGraph,
+    k: int,
+    *,
+    block_size: int | None = None,
+    plan=None,
+) -> WingResult:
     """Batch k-wing peeling: iterate eqs. (25)–(27) until fixpoint.
 
     Parameters
@@ -56,6 +62,12 @@ def k_wing(graph: BipartiteGraph, k: int) -> WingResult:
     k:
         Minimum number of butterflies each surviving edge must be part of
         (within the surviving subgraph).
+    block_size:
+        Panel width of the per-round support kernel.  Overrides ``plan``.
+        When both are ``None`` the engine's cost model picks it.
+    plan:
+        Optional :class:`repro.engine.Plan` pinning the round shape (as
+        produced by ``engine.plan(graph, "wing", k=...)``).
 
     Returns
     -------
@@ -65,13 +77,21 @@ def k_wing(graph: BipartiteGraph, k: int) -> WingResult:
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    if block_size is None:
+        if plan is None and graph.n_edges:
+            from repro import engine
+
+            plan = engine.plan(graph, "wing", k=k)
+        block_size = (plan.block_size if plan is not None else None) or 64
     current = graph
     rounds = 0
     with obs.span("peel.wing", k=k) as wing_span:
         while current.n_edges:
             rounds += 1
             with obs.span("peel.wing.round", round=rounds):
-                support = edge_butterfly_support_blocked(current)  # per entry
+                support = edge_butterfly_support_blocked(
+                    current, block_size=block_size
+                )  # per entry
             keep = support >= k  # eq. (26): M = S_w >= k
             if obs._enabled:
                 obs.inc("peel.wing.rounds")

@@ -1,0 +1,155 @@
+"""Shared work-estimation layer for the algorithm family.
+
+One home for every *exact, deterministic* model of how much element work a
+family member performs on a given graph — the quantities behind the
+paper's Fig. 10 analysis, the parallel executor's load balancing, the
+blocked executor's adaptive panels, and the execution engine's cost-based
+planner.  Before this module existed the same helpers were scattered:
+``bench/workmodel.py`` reached into ``repro.core.family``'s ``_``-prefixed
+internals and ``repro.core.parallel.pivot_work_estimate``; now every
+consumer (bench, parallel, blocked, :mod:`repro.engine`) imports the
+public names from here.
+
+Work models
+-----------
+- ``spmv``: per pivot, the update scans every stored entry of the
+  reference partition → work(pivot) = nnz(A₀) or nnz(A₂) — *triangular*
+  in the pivot index (:func:`spmv_scan_lengths`).
+- ``adjacency`` / ``scratch``: per pivot, the update expands the pivot's
+  wedges → work(pivot) = Σ_{x ∈ N(pivot)} deg(x), independent of the
+  reference side (:func:`pivot_work_estimate`).
+
+Summed over the sweep these explain the paper's Fig. 10 analytically:
+under spmv the column and row families do ``n·nnz/2``-ish and
+``m·nnz/2``-ish total work, which is exactly the smaller-side rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.family import (
+    Invariant,
+    Reference,
+    Side,
+    _matrices_for_side,
+    _resolve_invariant,
+)
+from repro.graphs.bipartite import BipartiteGraph
+from repro.sparsela.kernels import segment_sums
+
+__all__ = [
+    "matrices_for_side",
+    "resolve_invariant",
+    "pivot_work_estimate",
+    "spmv_scan_lengths",
+    "WorkProfile",
+    "work_profile",
+    "work_table",
+]
+
+
+def resolve_invariant(invariant) -> Invariant:
+    """Public resolver: paper number (1–8) or :class:`Invariant` → Invariant.
+
+    The supported way for other layers (bench, engine) to normalise an
+    invariant argument — previously they imported the ``_``-prefixed
+    helper from :mod:`repro.core.family` directly.
+    """
+    return _resolve_invariant(invariant)
+
+
+def matrices_for_side(graph: BipartiteGraph, side: Side):
+    """(pivot-major matrix, complementary matrix) for the given side.
+
+    CSC/CSR for columns, CSR/CSC for rows — the pivot-major matrix exposes
+    each pivot's neighbourhood as one slice, the complementary matrix the
+    neighbourhoods of the opposite side (what wedge continuation reads).
+    Public re-export of the family-internal helper.
+    """
+    return _matrices_for_side(graph, side)
+
+
+def pivot_work_estimate(pivot_major, complementary) -> np.ndarray:
+    """Exact wedge-expansion work per pivot: Σ_{x ∈ N(p)} deg(x).
+
+    This is the number of wedge endpoints the adjacency/scratch update
+    fetches for pivot p — the dominant cost of those strategies, and the
+    weight both the parallel range balancer and the blocked work-budget
+    panels use.
+    """
+    comp_deg = np.diff(complementary.indptr)
+    per_entry = comp_deg[pivot_major.indices]
+    return segment_sums(per_entry, pivot_major.indptr)
+
+
+def spmv_scan_lengths(pivot_major, reference: Reference) -> np.ndarray:
+    """Exact reference-partition scan length per pivot for ``spmv``.
+
+    The spmv update scans every stored entry of the reference partition —
+    the *prefix* ``indices[0 : indptr[p]]`` or the *suffix*
+    ``indices[indptr[p+1] : nnz]`` — so the per-pivot cost is triangular
+    in the pivot index, not uniform: ``indptr[p]`` entries for the prefix
+    reference, ``nnz − indptr[p+1]`` for the suffix.
+    """
+    indptr = np.asarray(pivot_major.indptr, dtype=np.int64)
+    if reference is Reference.PREFIX:
+        return indptr[:-1].copy()
+    nnz = int(indptr[-1]) if indptr.size else 0
+    return nnz - indptr[1:]
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Exact element-operation counts for one (graph, invariant, strategy)."""
+
+    invariant: int
+    strategy: str
+    #: number of loop iterations (pivots swept)
+    pivots: int
+    #: total element operations across the sweep
+    total_ops: int
+    #: largest single-pivot cost (the load-balancing worst case)
+    max_pivot_ops: int
+
+    @property
+    def mean_pivot_ops(self) -> float:
+        """Average per-iteration cost."""
+        return self.total_ops / self.pivots if self.pivots else 0.0
+
+
+def work_profile(
+    graph: BipartiteGraph, invariant, strategy: str = "spmv"
+) -> WorkProfile:
+    """Compute the exact work profile of one family member on ``graph``.
+
+    ``strategy`` is ``"spmv"`` (reference-partition scans), or
+    ``"adjacency"`` / ``"scratch"`` (wedge expansions — the two share one
+    work model; they differ only in the reduction's constant factor).
+    """
+    inv: Invariant = resolve_invariant(invariant)
+    pivot_major, complementary = matrices_for_side(graph, inv.side)
+    n = pivot_major.major_dim
+    if strategy == "spmv":
+        per_pivot = spmv_scan_lengths(pivot_major, inv.reference)
+    elif strategy in ("adjacency", "scratch"):
+        per_pivot = pivot_work_estimate(pivot_major, complementary)
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected 'adjacency', "
+            "'scratch' or 'spmv'"
+        )
+    return WorkProfile(
+        invariant=inv.number,
+        strategy=strategy,
+        pivots=n,
+        total_ops=int(per_pivot.sum()),
+        max_pivot_ops=int(per_pivot.max()) if n else 0,
+    )
+
+
+def work_table(graph: BipartiteGraph, strategy: str = "spmv") -> dict[int, WorkProfile]:
+    """Work profiles of all eight invariants, keyed by invariant number."""
+    return {k: work_profile(graph, k, strategy) for k in range(1, 9)}

@@ -1,0 +1,74 @@
+"""repro.engine — the unified Plan→Execute pipeline.
+
+Section V of the paper shows that no single family member wins: the best
+(invariant, storage, strategy, executor) combination depends on the graph
+shape.  This package makes that choice for the caller, with one front
+door and an explainable decision::
+
+    from repro import engine
+
+    p = engine.plan(graph)            # cost-based: stats × work model ×
+    print(engine.explain(p, graph))   #   per-machine calibration table
+    count = engine.execute(p, graph)  # or p.execute(graph)
+
+    engine.plan(graph, "tip", side="left", k=4).execute(graph)
+
+Every public counting/peeling entry point (``count_butterflies``,
+``count_butterflies_parallel``, ``k_tip``/``k_wing``, the CLI ``count`` /
+``peel`` / ``explain`` commands) routes its auto-selection through this
+package; hand-picked knobs are expressed as *pinned plan fields* rather
+than separate code paths.  Plan decisions are recorded as obs trace
+attributes and counters (``engine.plan.*``, ``engine.execute`` spans with
+predicted vs actual cost), so ``stats`` and Perfetto show why a run was
+shaped the way it was.
+
+Layers:
+
+- :mod:`repro.engine.plan` — the :class:`Plan` record.
+- :mod:`repro.engine.planner` — candidate generation, cost model,
+  :func:`plan` / :func:`explain` / :func:`select_count_invariant`.
+- :mod:`repro.engine.calibration` — per-machine ns/op coefficients
+  (measured by :func:`calibrate`, persisted under ``results/``, sane
+  defaults when uncalibrated).
+- :mod:`repro.engine.execute` — :func:`execute` dispatch onto the
+  family / blocked / shared-executor / peeling code paths.
+"""
+
+from repro.engine.calibration import (
+    DEFAULT_CALIBRATION_PATH,
+    DEFAULT_COEFFICIENTS,
+    CalibrationTable,
+    calibrate,
+    load_calibration,
+    save_calibration,
+)
+from repro.engine.execute import execute
+from repro.engine.plan import COUNT_STRATEGIES, EXECUTORS, WORKLOADS, Plan
+from repro.engine.planner import (
+    DEFAULT_MAX_WORKERS,
+    DEFAULT_PLAN_BLOCK_BUDGET,
+    candidate_plans,
+    explain,
+    plan,
+    select_count_invariant,
+)
+
+__all__ = [
+    "Plan",
+    "WORKLOADS",
+    "COUNT_STRATEGIES",
+    "EXECUTORS",
+    "plan",
+    "candidate_plans",
+    "explain",
+    "execute",
+    "select_count_invariant",
+    "CalibrationTable",
+    "calibrate",
+    "load_calibration",
+    "save_calibration",
+    "DEFAULT_CALIBRATION_PATH",
+    "DEFAULT_COEFFICIENTS",
+    "DEFAULT_MAX_WORKERS",
+    "DEFAULT_PLAN_BLOCK_BUDGET",
+]

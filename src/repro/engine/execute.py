@@ -1,0 +1,124 @@
+"""Plan dispatch: one front door onto every counting/peeling code path.
+
+:func:`execute` takes a :class:`~repro.engine.plan.Plan` and a graph and
+routes to the family sweep, the blocked panel kernel, the parallel
+executors, or the peeling fixpoints — the single place in the repo that
+knows how to turn a planner decision into a kernel invocation.  Every
+execution runs under an ``engine.execute`` span whose attributes record
+both the decision (invariant / strategy / executor / workers) and the
+**predicted vs actual** cost, so a Perfetto trace or ``stats`` table
+shows *why* a run was shaped the way it was and how good the model's
+guess turned out to be.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.engine.plan import Plan
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["execute"]
+
+
+def execute(the_plan: Plan, graph: BipartiteGraph, *, k: int | None = None):
+    """Run ``the_plan`` on ``graph``; returns the workload's natural result.
+
+    - ``"count"`` → int (Ξ_G)
+    - ``"vertex-counts"`` → int64 array over ``plan.side``
+    - ``"tip"`` → :class:`~repro.core.peeling.tip.TipResult`
+    - ``"wing"`` → :class:`~repro.core.peeling.wing.WingResult`
+
+    ``k`` overrides the plan's peeling threshold for tip/wing workloads.
+    """
+    if not isinstance(the_plan, Plan):
+        raise TypeError(f"expected a Plan, got {the_plan!r}")
+    with obs.span(
+        "engine.execute",
+        workload=the_plan.workload,
+        chosen=the_plan.label,
+        invariant=the_plan.invariant,
+        strategy=the_plan.strategy,
+        executor=the_plan.executor,
+        workers=the_plan.workers,
+        modeled_ops=the_plan.modeled_ops,
+        predicted_ms=round(the_plan.est_ms, 4),
+    ) as sp:
+        if obs._enabled:
+            # (the span itself records engine.execute.calls/.seconds)
+            obs.inc(f"engine.execute.workload.{the_plan.workload}")
+        t0 = time.perf_counter()
+        result = _dispatch(the_plan, graph, k)
+        actual = time.perf_counter() - t0
+        if obs._enabled:
+            sp.set_attributes(actual_ms=round(actual * 1e3, 4))
+            obs.observe("engine.predicted_ms", the_plan.est_ms)
+            obs.observe("engine.actual_ms", actual * 1e3)
+    return result
+
+
+def _dispatch(the_plan: Plan, graph: BipartiteGraph, k: int | None):
+    workload = the_plan.workload
+    if workload == "count":
+        return _dispatch_count(the_plan, graph)
+    if workload == "vertex-counts":
+        return _dispatch_vertex_counts(the_plan, graph)
+    k = k if k is not None else the_plan.k
+    if k is None:
+        raise ValueError(f"workload {workload!r} requires a peeling threshold k")
+    if workload == "tip":
+        from repro.core.peeling.tip import k_tip
+
+        return k_tip(graph, k, side=the_plan.side, plan=the_plan)
+    # wing
+    from repro.core.peeling.wing import k_wing
+
+    return k_wing(graph, k, plan=the_plan)
+
+
+def _dispatch_count(the_plan: Plan, graph: BipartiteGraph) -> int:
+    if the_plan.strategy == "blocked":
+        from repro.core.blocked import count_butterflies_blocked
+
+        return count_butterflies_blocked(
+            graph,
+            the_plan.invariant if the_plan.invariant is not None else 2,
+            block_size=the_plan.block_size or 64,
+            method=the_plan.method,
+        )
+    if the_plan.workers > 1 or the_plan.executor != "serial":
+        from repro.core.parallel import count_butterflies_parallel
+
+        return count_butterflies_parallel(
+            graph,
+            n_workers=the_plan.workers,
+            executor=the_plan.executor,
+            invariant=the_plan.invariant,
+            strategy=the_plan.strategy,
+        )
+    from repro.core.family import count_butterflies_unblocked
+
+    invariant = the_plan.invariant
+    if invariant is None:  # hand-built plan without a member: smaller side
+        invariant = 2 if graph.n_right <= graph.n_left else 6
+    return count_butterflies_unblocked(
+        graph, invariant, strategy=the_plan.strategy
+    )
+
+
+def _dispatch_vertex_counts(the_plan: Plan, graph: BipartiteGraph):
+    if the_plan.workers > 1 or the_plan.executor != "serial":
+        from repro.core.parallel import vertex_butterfly_counts_parallel
+
+        return vertex_butterfly_counts_parallel(
+            graph,
+            side=the_plan.side,
+            n_workers=the_plan.workers,
+            executor=the_plan.executor,
+        )
+    from repro.core.local_counts import vertex_butterfly_counts_blocked
+
+    return vertex_butterfly_counts_blocked(
+        graph, side=the_plan.side, block_size=the_plan.block_size or 128
+    )

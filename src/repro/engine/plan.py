@@ -1,0 +1,149 @@
+"""The :class:`Plan` record — one fully-specified execution decision.
+
+A plan pins every knob the counting/peeling entry points used to expose
+separately: which family member (``invariant``), which compressed storage
+the traversal reads (``storage``), which per-pivot update strategy
+(``strategy``), which executor runs it (``executor`` + ``workers``), what
+panel width the blocked kernels use (``block_size``), and which vertex
+side per-vertex workloads address (``side``).  The cost-based planner
+(:func:`repro.engine.plan`) produces plans; :func:`repro.engine.execute`
+dispatches them; :func:`repro.engine.explain` renders how the choice was
+made.
+
+Plans are deterministic, hashable values: the same (graph, workload,
+constraints, calibration) always yields the same plan, which is what lets
+``explain`` output and trace attributes agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Plan", "WORKLOADS", "COUNT_STRATEGIES", "EXECUTORS"]
+
+#: Workloads the engine can plan: a global butterfly count, a per-vertex
+#: participation vector, and the two peeling fixpoints (whose unit of
+#: per-round work is a per-vertex / per-edge count).
+WORKLOADS: tuple[str, ...] = ("count", "vertex-counts", "tip", "wing")
+
+#: Counting strategies a plan may select.  The first three are the
+#: unblocked family strategies; ``"blocked"`` is the panel derivation
+#: (its reduction method rides in :attr:`Plan.method`).
+COUNT_STRATEGIES: tuple[str, ...] = ("adjacency", "scratch", "spmv", "blocked")
+
+#: Executors a plan may select (same vocabulary as
+#: :func:`repro.core.parallel.count_butterflies_parallel`).
+EXECUTORS: tuple[str, ...] = ("serial", "shared", "process", "thread")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One fully-specified execution decision.
+
+    Produced by :func:`repro.engine.plan`; executed by
+    :func:`repro.engine.execute` (or the :meth:`execute` convenience).
+    The ``modeled_ops`` / ``est_seconds`` fields record the exact work
+    model and the calibrated cost estimate that made this candidate win;
+    ``candidates`` carries the losing candidates so :func:`explain` can
+    render the whole decision table from the plan alone.
+    """
+
+    #: one of :data:`WORKLOADS`
+    workload: str = "count"
+    #: paper family member 1–8 (None for per-vertex/peeling workloads,
+    #: where the kernel is side-addressed rather than invariant-addressed)
+    invariant: int | None = None
+    #: compressed layout the traversal is pivot-major in: "csc" or "csr"
+    storage: str = "csc"
+    #: one of :data:`COUNT_STRATEGIES` for counts; "blocked" for the
+    #: panel kernels behind per-vertex / peeling workloads
+    strategy: str = "adjacency"
+    #: one of :data:`EXECUTORS`
+    executor: str = "serial"
+    #: pool size (1 for serial execution)
+    workers: int = 1
+    #: panel width for blocked kernels (None → the kernel's default)
+    block_size: int | None = None
+    #: panel reduction method for blocked kernels ("auto"/"sort"/...)
+    method: str = "auto"
+    #: vertex side for per-vertex / tip workloads ("left"/"right")
+    side: str = "left"
+    #: peeling threshold (tip/wing workloads; None for counts)
+    k: int | None = None
+    #: exact element-operation count from the work model
+    modeled_ops: int = 0
+    #: calibrated wall-clock estimate (seconds)
+    est_seconds: float = 0.0
+    #: human-readable one-liner: why this candidate won
+    reason: str = ""
+    #: the full candidate table the planner scored (chosen plan included,
+    #: with empty ``candidates`` of their own); () for hand-built plans
+    candidates: tuple["Plan", ...] = field(default=(), repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; expected one of {WORKLOADS}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.invariant is not None and self.invariant not in range(1, 9):
+            raise ValueError(f"invariant must be 1..8, got {self.invariant}")
+        if self.side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {self.side!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Compact identifier used in the explain table and trace attrs."""
+        bits = []
+        if self.invariant is not None:
+            bits.append(f"inv{self.invariant}")
+        else:
+            bits.append(self.side)
+        bits.append(self.strategy)
+        if self.strategy == "blocked" and self.block_size:
+            bits.append(f"b{self.block_size}")
+        if self.workers > 1:
+            bits.append(f"{self.executor}x{self.workers}")
+        else:
+            bits.append("serial")
+        return "-".join(bits)
+
+    @property
+    def est_ms(self) -> float:
+        """Calibrated estimate in milliseconds (for tables)."""
+        return self.est_seconds * 1e3
+
+    def with_(self, **changes) -> "Plan":
+        """A copy with the given fields replaced (frozen-dataclass sugar)."""
+        return replace(self, **changes)
+
+    def execute(self, graph, **kwargs):
+        """Run this plan on ``graph`` — sugar for :func:`repro.engine.execute`."""
+        from repro.engine.execute import execute
+
+        return execute(self, graph, **kwargs)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (candidates omitted)."""
+        return {
+            "workload": self.workload,
+            "invariant": self.invariant,
+            "storage": self.storage,
+            "strategy": self.strategy,
+            "executor": self.executor,
+            "workers": self.workers,
+            "block_size": self.block_size,
+            "method": self.method,
+            "side": self.side,
+            "k": self.k,
+            "modeled_ops": self.modeled_ops,
+            "est_seconds": self.est_seconds,
+            "reason": self.reason,
+            "label": self.label,
+        }

@@ -1,0 +1,461 @@
+"""Cost-based planner: graph stats × exact work model × calibration → Plan.
+
+The paper's Section V result is that no single family member wins — which
+invariant, storage, and update strategy is fastest depends on the graph's
+shape (side ratio, sparsity, degree skew).  The planner makes that choice
+mechanical:
+
+1. **Candidate generation** — enumerate the plans worth considering for
+   the workload, respecting any caller-pinned fields (a pinned
+   ``invariant=3`` restricts candidates to invariant 3; a pinned
+   ``executor="process"`` restricts the pool kind; etc.).
+2. **Exact work model** — each candidate's element-operation count comes
+   from :mod:`repro.core.workinfo` (the same model the parallel range
+   balancer and the Fig. 10 analysis use), never from asymptotics.
+3. **Calibration** — ops become estimated seconds through the per-machine
+   coefficient table (:mod:`repro.engine.calibration`), with shipped
+   defaults when the machine is uncalibrated.
+4. **Selection** — lowest estimated cost wins; ties break toward the
+   earlier candidate in generation order (which lists the paper-preferred
+   suffix members first).  Everything is deterministic, so ``explain``
+   output and trace attributes agree by construction.
+
+The smaller-side rule the paper states *emerges* from the model rather
+than being hard-coded: the side with fewer pivots pays less per-iteration
+overhead (unblocked) and a shorter triangular scan (spmv).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.core.workinfo import (
+    matrices_for_side,
+    pivot_work_estimate,
+    resolve_invariant,
+    spmv_scan_lengths,
+)
+from repro.engine.calibration import CalibrationTable, load_calibration
+from repro.engine.plan import COUNT_STRATEGIES, EXECUTORS, WORKLOADS, Plan
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "plan",
+    "candidate_plans",
+    "explain",
+    "select_count_invariant",
+    "DEFAULT_MAX_WORKERS",
+    "DEFAULT_PLAN_BLOCK_BUDGET",
+]
+
+#: Pool-size cap for auto-chosen parallel plans (the paper's thread count).
+DEFAULT_MAX_WORKERS = 6
+
+#: Invariants the planner considers when none is pinned: the forward
+#: look-ahead (suffix) member of each side — the group the paper's
+#: Section V measures as faster (2/4/6/8 are cost-identical per side,
+#: so one representative per side spans the whole decision space).
+_AUTO_INVARIANTS = (2, 6)
+
+#: Default wedge-work budget used to SIZE panels (elements).  Smaller
+#: than the executor's transient-memory cap
+#: (:data:`repro.core.blocked.DEFAULT_PANEL_WORK_BUDGET`) on purpose: the
+#: panel kernel's ``np.unique`` sort degrades superlinearly once the
+#: expanded wedge set falls out of L2, so the planner targets a
+#: cache-resident panel (~256k int64 endpoints ≈ 2 MB) rather than the
+#: largest panel that merely *fits in RAM*.  Override with ``budget=``.
+DEFAULT_PLAN_BLOCK_BUDGET: int = 1 << 18
+
+
+# ----------------------------------------------------------------------
+# graph features + per-side work cache
+# ----------------------------------------------------------------------
+class _SideWork:
+    """Exact work totals for one traversed side, computed once per plan."""
+
+    def __init__(self, graph: BipartiteGraph, invariant_number: int):
+        inv = resolve_invariant(invariant_number)
+        pivot_major, complementary = matrices_for_side(graph, inv.side)
+        self.invariant = inv
+        self.pivots = int(pivot_major.major_dim)
+        self.nnz = int(graph.n_edges)
+        per_pivot = pivot_work_estimate(pivot_major, complementary)
+        self.adjacency_ops = int(per_pivot.sum())
+        self.max_pivot_ops = int(per_pivot.max()) if self.pivots else 0
+        self.spmv_ops = int(
+            spmv_scan_lengths(pivot_major, inv.reference).sum()
+        ) + self.nnz
+        self.mean_pivot_ops = (
+            self.adjacency_ops / self.pivots if self.pivots else 0.0
+        )
+
+    def ops(self, strategy: str) -> int:
+        return self.spmv_ops if strategy == "spmv" else self.adjacency_ops
+
+
+def _auto_block_size(side_work: _SideWork, budget: int) -> int:
+    """Panel width that keeps a panel's wedge expansion ≈ within budget."""
+    if side_work.mean_pivot_ops <= 0:
+        return 64
+    width = int(budget / max(side_work.mean_pivot_ops, 1.0))
+    return max(16, min(width, 4096))
+
+
+def _cost_unblocked(work: _SideWork, strategy: str, cal: CalibrationTable) -> float:
+    return (
+        work.ops(strategy) * cal.ns_per_op(strategy)
+        + work.pivots * cal.ns_per_pivot(strategy)
+    ) * 1e-9
+
+
+def _cost_blocked(work: _SideWork, block_size: int, cal: CalibrationTable) -> float:
+    panels = -(-work.pivots // max(block_size, 1)) if work.pivots else 0
+    return (
+        work.adjacency_ops * cal.ns_per_op("blocked")
+        + panels * cal.ns_per_panel
+    ) * 1e-9
+
+
+def _cost_parallel(serial_cost: float, workers: int, cal: CalibrationTable) -> float:
+    return (
+        serial_cost / (workers * cal.parallel_efficiency)
+        + cal.parallel_dispatch_ns * 1e-9
+    )
+
+
+def _graph_note(graph: BipartiteGraph) -> str:
+    ratio = graph.n_left / graph.n_right if graph.n_right else float("inf")
+    return (
+        f"graph: {graph.n_left}x{graph.n_right}, nnz={graph.n_edges}, "
+        f"side_ratio={ratio:.3g}"
+    )
+
+
+# ----------------------------------------------------------------------
+# candidate generation
+# ----------------------------------------------------------------------
+def candidate_plans(
+    graph: BipartiteGraph,
+    workload: str = "count",
+    *,
+    budget: int | None = None,
+    invariant=None,
+    strategy: str | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
+    block_size: int | None = None,
+    side: str | None = None,
+    k: int | None = None,
+    family_only: bool = False,
+    calibration: CalibrationTable | None = None,
+) -> list[Plan]:
+    """The scored candidate table for ``plan`` (chosen = lowest est).
+
+    Any non-None keyword pins the corresponding plan field; the planner
+    fills the rest.  ``family_only=True`` restricts counting candidates
+    to the sequential unblocked family (the contract of
+    :func:`repro.core.count_butterflies`).
+    """
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; expected one of {WORKLOADS}"
+        )
+    if strategy is not None and strategy not in COUNT_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {COUNT_STRATEGIES}"
+        )
+    if executor is not None and executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    cal = calibration or load_calibration()
+    budget = budget if budget is not None else DEFAULT_PLAN_BLOCK_BUDGET
+    if workload == "count":
+        return _count_candidates(
+            graph, cal, budget, invariant, strategy, executor, workers,
+            block_size, family_only,
+        )
+    if workload == "vertex-counts":
+        return _vertex_candidates(
+            graph, cal, budget, executor, workers, block_size,
+            side or "left", rounds=1, k=None,
+        )
+    if workload == "tip":
+        return _vertex_candidates(
+            graph, cal, budget, executor, workers, block_size,
+            side or "left", rounds=3, k=k, workload="tip",
+        )
+    # wing
+    return _wing_candidates(graph, cal, budget, block_size, k)
+
+
+def _pool_workers(workers: int | None) -> int:
+    if workers is not None:
+        return workers
+    return min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS)
+
+
+def _count_candidates(
+    graph, cal, budget, invariant, strategy, executor, workers,
+    block_size, family_only,
+) -> list[Plan]:
+    invariants = (
+        [resolve_invariant(invariant).number]
+        if invariant is not None
+        else list(_AUTO_INVARIANTS)
+    )
+    # order smaller side first so ties break the paper's way
+    if invariant is None and graph.n_right > graph.n_left:
+        invariants.reverse()
+    unblocked = ("adjacency", "scratch", "spmv")
+    if strategy is None:
+        strategies = unblocked if family_only else COUNT_STRATEGIES
+    else:
+        strategies = (strategy,)
+    pool_workers = _pool_workers(workers)
+    pin_pool = (executor not in (None, "serial")) or (
+        workers is not None and workers > 1
+    )
+    pin_serial = (executor == "serial") or (workers == 1)
+    emit_serial = not pin_pool
+    emit_parallel = (
+        not pin_serial and not family_only and pool_workers > 1
+    )
+    pool_kind = executor if executor not in (None, "serial") else "shared"
+
+    out: list[Plan] = []
+    for number in invariants:
+        work = _SideWork(graph, number)
+        inv = work.invariant
+        side = "right" if inv.storage == "csc" else "left"
+        for strat in strategies:
+            if strat == "blocked":
+                if not emit_serial:  # the panel kernel is serial-only
+                    continue
+                b = block_size or _auto_block_size(work, budget)
+                est = _cost_blocked(work, b, cal)
+                out.append(Plan(
+                    workload="count", invariant=number, storage=inv.storage,
+                    strategy="blocked", executor="serial", workers=1,
+                    block_size=b, side=side,
+                    modeled_ops=work.adjacency_ops, est_seconds=est,
+                    reason="panel kernel amortises per-pivot overhead "
+                           f"over {work.pivots} pivots",
+                ))
+                continue
+            if emit_serial:
+                est = _cost_unblocked(work, strat, cal)
+                out.append(Plan(
+                    workload="count", invariant=number, storage=inv.storage,
+                    strategy=strat, executor="serial", workers=1,
+                    side=side, modeled_ops=work.ops(strat), est_seconds=est,
+                    reason=f"unblocked {strat} sweep of the "
+                           f"{'smaller' if work.pivots == min(graph.n_left, graph.n_right) else 'larger'}"
+                           " side",
+                ))
+            if emit_parallel:
+                serial_est = _cost_unblocked(work, strat, cal)
+                est = _cost_parallel(serial_est, pool_workers, cal)
+                out.append(Plan(
+                    workload="count", invariant=number, storage=inv.storage,
+                    strategy=strat, executor=pool_kind, workers=pool_workers,
+                    side=side, modeled_ops=work.ops(strat), est_seconds=est,
+                    reason=f"{pool_kind} pool: modeled serial cost "
+                           f"{serial_est * 1e3:.2f} ms vs dispatch overhead "
+                           f"{cal.parallel_dispatch_ns * 1e-6:.2f} ms",
+                ))
+    return out
+
+
+def _vertex_candidates(
+    graph, cal, budget, executor, workers, block_size, side,
+    rounds=1, k=None, workload="vertex-counts",
+) -> list[Plan]:
+    # pivot side of the per-vertex kernel == the counted side
+    number = 6 if side == "left" else 2  # rows ↔ CSR, columns ↔ CSC
+    work = _SideWork(graph, number)
+    storage = "csr" if side == "left" else "csc"
+    b = block_size or max(_auto_block_size(work, budget), 128)
+    serial_est = _cost_blocked(work, b, cal) * rounds
+    pool_workers = _pool_workers(workers)
+    pin_pool = (executor not in (None, "serial")) or (
+        workers is not None and workers > 1
+    )
+    pin_serial = (executor == "serial") or (workers == 1)
+    out = []
+    if not pin_pool:
+        out.append(Plan(
+            workload=workload, invariant=None, storage=storage,
+            strategy="blocked", executor="serial", workers=1, block_size=b,
+            side=side, k=k, modeled_ops=work.adjacency_ops * rounds,
+            est_seconds=serial_est,
+            reason=f"serial panel kernel, ~{rounds} round(s) modeled",
+        ))
+    if not pin_serial and pool_workers > 1:
+        pool_kind = executor if executor not in (None, "serial") else "shared"
+        est = _cost_parallel(serial_est / rounds, pool_workers, cal) * rounds
+        out.append(Plan(
+            workload=workload, invariant=None, storage=storage,
+            strategy="blocked", executor=pool_kind, workers=pool_workers,
+            block_size=b, side=side, k=k,
+            modeled_ops=work.adjacency_ops * rounds, est_seconds=est,
+            reason=f"warm {pool_kind} pool amortised across fixpoint rounds",
+        ))
+    return out
+
+
+def _wing_candidates(graph, cal, budget, block_size, k) -> list[Plan]:
+    work = _SideWork(graph, 6)  # left/CSR traversal of the support kernel
+    b = block_size or max(16, min(_auto_block_size(work, budget), 1024))
+    rounds = 3
+    # the support kernel does the wedge expansion plus a same-size
+    # searchsorted resolve pass → ~2× the adjacency ops per round
+    ops = 2 * work.adjacency_ops * rounds
+    panels = -(-work.pivots // b) if work.pivots else 0
+    est = (
+        ops * cal.ns_per_op("blocked") + panels * rounds * cal.ns_per_panel
+    ) * 1e-9
+    return [Plan(
+        workload="wing", invariant=None, storage="csr", strategy="blocked",
+        executor="serial", workers=1, block_size=b, side="left", k=k,
+        modeled_ops=ops, est_seconds=est,
+        reason=f"blocked edge-support kernel, ~{rounds} round(s) modeled",
+    )]
+
+
+# ----------------------------------------------------------------------
+# the front door
+# ----------------------------------------------------------------------
+def plan(
+    graph: BipartiteGraph,
+    workload: str = "count",
+    *,
+    budget: int | None = None,
+    invariant=None,
+    strategy: str | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
+    block_size: int | None = None,
+    side: str | None = None,
+    k: int | None = None,
+    family_only: bool = False,
+    calibration: CalibrationTable | None = None,
+) -> Plan:
+    """Choose the cheapest execution plan for ``workload`` on ``graph``.
+
+    Non-None keyword arguments pin the corresponding plan field (the
+    planner only decides what the caller left open); ``budget`` bounds
+    the transient wedge working set of panel kernels (element count, see
+    :data:`DEFAULT_PLAN_BLOCK_BUDGET`).  Returns the
+    winning :class:`Plan` with the full scored candidate table attached
+    (``plan.candidates``) for :func:`explain`.
+    """
+    cal = calibration or load_calibration()
+    with obs.span("engine.plan", workload=workload) as sp:
+        cands = candidate_plans(
+            graph, workload, budget=budget, invariant=invariant,
+            strategy=strategy, executor=executor, workers=workers,
+            block_size=block_size, side=side, k=k,
+            family_only=family_only, calibration=cal,
+        )
+        if not cands:  # fully over-constrained (e.g. executor="serial",
+            # workers=4): fall back to an unconstrained table
+            cands = candidate_plans(
+                graph, workload, budget=budget, invariant=invariant,
+                k=k, side=side, family_only=family_only, calibration=cal,
+            )
+        best = min(cands, key=lambda c: c.est_seconds)
+        chosen = best.with_(
+            candidates=tuple(cands),
+        )
+        if obs._enabled:
+            # (the span itself records engine.plan.calls/.seconds)
+            obs.inc(f"engine.plan.workload.{workload}")
+            obs.inc(f"engine.plan.strategy.{chosen.strategy}")
+            obs.inc(f"engine.plan.executor.{chosen.executor}")
+            if chosen.invariant is not None:
+                obs.inc(f"engine.plan.invariant.{chosen.invariant}")
+            sp.set_attributes(
+                chosen=chosen.label,
+                invariant=chosen.invariant,
+                strategy=chosen.strategy,
+                executor=chosen.executor,
+                workers=chosen.workers,
+                modeled_ops=chosen.modeled_ops,
+                est_ms=round(chosen.est_ms, 4),
+                candidates=len(cands),
+                calibration=cal.origin,
+            )
+    return chosen
+
+
+def select_count_invariant(graph: BipartiteGraph) -> int:
+    """Cheapest family member for a sequential count (2 or 6).
+
+    The helper other layers use instead of re-implementing the
+    smaller-side rule inline; delegates to the cost model so a calibrated
+    machine can disagree with the naive rule on skewed-degree graphs.
+    """
+    chosen = plan(graph, "count", family_only=True, executor="serial")
+    return chosen.invariant if chosen.invariant is not None else 2
+
+
+# ----------------------------------------------------------------------
+# explain
+# ----------------------------------------------------------------------
+def explain(
+    the_plan: Plan,
+    graph: BipartiteGraph | None = None,
+    calibration: CalibrationTable | None = None,
+) -> str:
+    """Render a plan's decision table (candidates, modeled ops, est ms).
+
+    Works from the plan alone (its attached candidate table); ``graph``
+    adds a structural summary line and ``calibration`` a provenance line.
+    """
+    lines = [f"plan for workload '{the_plan.workload}'"]
+    if graph is not None:
+        lines.append(_graph_note(graph))
+    cal = calibration or load_calibration()
+    lines.append(f"calibration: {cal.origin}")
+    cands = list(the_plan.candidates) or [the_plan]
+    cands.sort(key=lambda c: c.est_seconds)
+    header = ("", "candidate", "inv", "storage", "executor",
+              "modeled ops", "est ms")
+    rows = []
+    for cand in cands:
+        mark = "*" if _same_decision(cand, the_plan) else ""
+        rows.append((
+            mark,
+            cand.label,
+            str(cand.invariant) if cand.invariant is not None else "-",
+            cand.storage,
+            f"{cand.executor}x{cand.workers}",
+            f"{cand.modeled_ops:,}",
+            f"{cand.est_ms:.3f}",
+        ))
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    lines.append("  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(header)
+    ).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(
+            r[i].ljust(widths[i]) for i in range(len(header))
+        ).rstrip())
+    lines.append(f"chosen: {the_plan.label} — {the_plan.reason}")
+    return "\n".join(lines)
+
+
+def _same_decision(a: Plan, b: Plan) -> bool:
+    return (
+        a.invariant == b.invariant
+        and a.strategy == b.strategy
+        and a.executor == b.executor
+        and a.workers == b.workers
+        and a.block_size == b.block_size
+        and a.side == b.side
+    )

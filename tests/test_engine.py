@@ -1,0 +1,447 @@
+"""Property suite for the unified execution engine (repro.engine).
+
+The acceptance properties of the Plan→Execute pipeline:
+
+1. **Correctness under planning** — for every conformance-corpus graph,
+   ``plan(g, workload).execute(g)`` agrees with the eq. (4) spec count
+   (counts), the naive per-vertex oracle (vertex-counts), and the
+   pure-Python peeling references (tip/wing) — for *every* scored
+   candidate, not just the winner.
+2. **Cost-model sanity** — modeled ops and estimated cost are monotone
+   in nnz along nested edge-prefix graphs of a generator family.
+3. **Pinning** — every caller-pinned field survives into the chosen
+   plan; over-constrained pin sets degrade gracefully.
+4. **Explain/trace agreement** — the ``engine.plan`` span attributes,
+   the ``engine.execute`` span attributes, and the ``explain`` table all
+   name the same decision.
+5. **Calibration** — measure → persist → load round-trips, and a missing
+   or corrupt table degrades to the shipped defaults.
+6. **Back-compat** — ``count_butterflies(g, invariant=..., strategy=...)``
+   still answers correctly and emits exactly one DeprecationWarning.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import engine, obs
+from repro.core import (
+    butterflies_spec_bform,
+    count_butterflies,
+    count_butterflies_unblocked,
+    k_tip,
+    k_wing,
+)
+from repro.core.local_counts import vertex_butterfly_counts
+from repro.engine import (
+    CalibrationTable,
+    DEFAULT_COEFFICIENTS,
+    Plan,
+    calibrate,
+    candidate_plans,
+    load_calibration,
+    save_calibration,
+    select_count_invariant,
+)
+from repro.graphs import BipartiteGraph, gnm_bipartite, power_law_bipartite
+from repro.reference import k_tip_reference, k_wing_reference
+from tests.conftest import tiny_named_graphs
+
+#: Default-coefficient table: keeps every test hermetic against a
+#: ``results/engine_calibration.json`` left behind by a bench run.
+DEFAULTS = CalibrationTable()
+
+
+@pytest.fixture(autouse=True)
+def _no_persisted_calibration(monkeypatch, tmp_path):
+    """Point the calibration env at a non-existent file for every test."""
+    monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "absent.json"))
+
+
+# ----------------------------------------------------------------------
+# 1. plan().execute() correctness on the conformance corpus
+# ----------------------------------------------------------------------
+class TestPlanExecuteCorrectness:
+    def test_count_matches_spec_on_corpus(self, corpus):
+        for name, g in corpus:
+            expected = butterflies_spec_bform(g)
+            got = engine.plan(g, "count", calibration=DEFAULTS).execute(g)
+            assert got == expected, name
+
+    def test_count_matches_spec_on_tiny_graphs(self):
+        for name, g in tiny_named_graphs().items():
+            expected = butterflies_spec_bform(g)
+            got = engine.plan(g, "count", calibration=DEFAULTS).execute(g)
+            assert got == expected, name
+
+    def test_every_scored_candidate_agrees(self, corpus):
+        """Not just the winner: every candidate the planner scored is a
+        runnable plan computing the same count."""
+        for name, g in corpus[:5]:
+            expected = butterflies_spec_bform(g)
+            chosen = engine.plan(g, "count", calibration=DEFAULTS)
+            assert len(chosen.candidates) >= 2 or g.n_edges == 0
+            for cand in chosen.candidates:
+                assert cand.execute(g) == expected, (name, cand.label)
+
+    def test_vertex_counts_matches_oracle(self, corpus):
+        for name, g in corpus[:6]:
+            for side in ("left", "right"):
+                expected = vertex_butterfly_counts(g, side)
+                got = engine.plan(
+                    g, "vertex-counts", side=side, calibration=DEFAULTS
+                ).execute(g)
+                assert np.array_equal(got, expected), (name, side)
+
+    def test_tip_plan_matches_reference(self, corpus):
+        for name, g in corpus[:4]:
+            for k in (1, 3):
+                res = engine.plan(
+                    g, "tip", k=k, calibration=DEFAULTS
+                ).execute(g)
+                assert res.kept.tolist() == k_tip_reference(g, k), (name, k)
+
+    def test_wing_plan_matches_reference(self, corpus):
+        for name, g in corpus[:4]:
+            res = engine.plan(g, "wing", k=2, calibration=DEFAULTS).execute(g)
+            got = {tuple(map(int, e)) for e in res.subgraph.edges()}
+            assert got == k_wing_reference(g, 2), name
+
+    def test_execute_k_override(self):
+        g = power_law_bipartite(50, 60, 400, seed=2)
+        p = engine.plan(g, "tip", k=1, calibration=DEFAULTS)
+        res = engine.execute(p, g, k=4)
+        assert res.k == 4
+        assert res.kept.tolist() == k_tip_reference(g, 4)
+
+    def test_peeling_workload_requires_k(self):
+        g = power_law_bipartite(20, 20, 60, seed=1)
+        p = engine.plan(g, "tip", calibration=DEFAULTS)
+        with pytest.raises(ValueError, match="requires a peeling threshold"):
+            engine.execute(p, g)
+
+    def test_family_only_plans_stay_in_the_unblocked_family(self, corpus):
+        for name, g in corpus[:6]:
+            p = engine.plan(
+                g, "count", family_only=True, executor="serial",
+                calibration=DEFAULTS,
+            )
+            assert p.strategy in ("adjacency", "scratch", "spmv"), name
+            assert p.executor == "serial" and p.workers == 1
+            assert p.invariant in (2, 6)
+
+
+# ----------------------------------------------------------------------
+# 2. cost-model monotonicity on nested edge-prefix graphs
+# ----------------------------------------------------------------------
+class TestCostModelMonotonicity:
+    def _edge_prefixes(self):
+        full = gnm_bipartite(40, 50, 500, seed=21)
+        edges = [tuple(map(int, e)) for e in full.edges()]
+        for m in (50, 150, 300, 500):
+            yield BipartiteGraph(edges[:m], n_left=40, n_right=50)
+
+    @pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv"])
+    def test_modeled_ops_and_cost_monotone_in_nnz(self, strategy):
+        """Adding edges never lowers modeled work or estimated cost for a
+        fixed decision (the planner's cost model is monotone in nnz)."""
+        ops, est = [], []
+        for g in self._edge_prefixes():
+            p = engine.plan(
+                g, "count", invariant=2, strategy=strategy,
+                executor="serial", calibration=DEFAULTS,
+            )
+            ops.append(p.modeled_ops)
+            est.append(p.est_seconds)
+        assert ops == sorted(ops), ops
+        assert est == sorted(est), est
+
+    def test_blocked_cost_monotone_in_nnz(self):
+        est = []
+        for g in self._edge_prefixes():
+            p = engine.plan(
+                g, "count", invariant=2, strategy="blocked",
+                block_size=64, calibration=DEFAULTS,
+            )
+            est.append(p.est_seconds)
+        assert est == sorted(est), est
+
+    def test_smaller_side_has_cheaper_pivot_overhead(self):
+        """On a sharply skewed graph the defaults table prefers pivoting
+        the small side — the paper's Section V rule as a cost-model
+        consequence."""
+        wide = gnm_bipartite(4, 300, 500, seed=5)  # left side tiny
+        assert select_count_invariant(wide) == 6  # rows = left = smaller
+        tall = wide.swap_sides()
+        assert select_count_invariant(tall) == 2  # columns = right = smaller
+
+
+# ----------------------------------------------------------------------
+# 3. pinning
+# ----------------------------------------------------------------------
+class TestPinning:
+    @pytest.fixture(scope="class")
+    def g(self):
+        return power_law_bipartite(60, 80, 600, seed=4)
+
+    def test_pinned_fields_survive(self, g):
+        p = engine.plan(
+            g, "count", invariant=3, strategy="spmv", executor="serial",
+            calibration=DEFAULTS,
+        )
+        assert (p.invariant, p.strategy, p.executor) == (3, "spmv", "serial")
+        assert p.execute(g) == butterflies_spec_bform(g)
+
+    def test_pinned_block_size(self, g):
+        p = engine.plan(
+            g, "count", strategy="blocked", block_size=32,
+            calibration=DEFAULTS,
+        )
+        assert p.block_size == 32 and p.strategy == "blocked"
+        assert p.execute(g) == butterflies_spec_bform(g)
+
+    def test_pinned_workers_yield_parallel_plan(self, g):
+        p = engine.plan(
+            g, "count", workers=2, executor="process", calibration=DEFAULTS,
+        )
+        assert p.workers == 2 and p.executor == "process"
+        assert p.execute(g) == butterflies_spec_bform(g)
+
+    def test_overconstrained_pins_fall_back(self, g):
+        # executor="serial" + workers=4 is contradictory; the planner
+        # falls back to an unconstrained table instead of erroring
+        p = engine.plan(
+            g, "count", executor="serial", workers=4, calibration=DEFAULTS,
+        )
+        assert p.execute(g) == butterflies_spec_bform(g)
+
+    def test_unknown_workload_strategy_executor_rejected(self, g):
+        with pytest.raises(ValueError, match="workload"):
+            engine.plan(g, "sorting", calibration=DEFAULTS)
+        with pytest.raises(ValueError, match="strategy"):
+            engine.plan(g, "count", strategy="magic", calibration=DEFAULTS)
+        with pytest.raises(ValueError, match="executor"):
+            engine.plan(g, "count", executor="gpu", calibration=DEFAULTS)
+
+    def test_plan_record_validation(self):
+        with pytest.raises(ValueError, match="workload"):
+            Plan(workload="nope")
+        with pytest.raises(ValueError, match="workers"):
+            Plan(workers=0)
+        with pytest.raises(ValueError, match="invariant"):
+            Plan(invariant=12)
+        with pytest.raises(TypeError, match="Plan"):
+            engine.execute("not a plan", None)
+
+    def test_plan_as_dict_and_label(self, g):
+        p = engine.plan(g, "count", calibration=DEFAULTS)
+        d = p.as_dict()
+        assert d["label"] == p.label and json.dumps(d)
+        clone = p.with_(workers=3, executor="thread")
+        assert clone.workers == 3 and p.workers == 1
+
+
+# ----------------------------------------------------------------------
+# 4. explain / trace agreement
+# ----------------------------------------------------------------------
+class TestExplainTraceAgreement:
+    def test_explain_marks_the_chosen_candidate(self):
+        g = power_law_bipartite(60, 80, 600, seed=4)
+        p = engine.plan(g, "count", calibration=DEFAULTS)
+        text = engine.explain(p, g, calibration=DEFAULTS)
+        assert p.label in text
+        assert "chosen: " + p.label in text
+        marked = [ln for ln in text.splitlines() if ln.startswith("*")]
+        assert len(marked) == 1 and p.label in marked[0]
+        # every losing candidate is listed too
+        for cand in p.candidates:
+            assert cand.label in text
+
+    def test_explain_renders_graph_and_calibration_provenance(self):
+        g = gnm_bipartite(10, 12, 40, seed=1)
+        p = engine.plan(g, "count", calibration=DEFAULTS)
+        text = engine.explain(p, g, calibration=DEFAULTS)
+        assert "nnz=40" in text
+        assert "defaults" in text  # uncalibrated provenance line
+
+    def test_span_attributes_agree_with_explain(self):
+        g = power_law_bipartite(60, 80, 600, seed=4)
+        with obs.capture():
+            p = engine.plan(g, "count", calibration=DEFAULTS)
+            p.execute(g)
+            records = obs.trace_records()
+        spans = {r["name"]: r for r in records}
+        plan_span = spans["engine.plan"]
+        exec_span = spans["engine.execute"]
+        assert plan_span["attrs"]["chosen"] == p.label
+        assert exec_span["attrs"]["chosen"] == p.label
+        assert exec_span["attrs"]["invariant"] == p.invariant
+        assert exec_span["attrs"]["strategy"] == p.strategy
+        assert "actual_ms" in exec_span["attrs"]
+        text = engine.explain(p, g, calibration=DEFAULTS)
+        assert plan_span["attrs"]["chosen"] in text
+
+    def test_plan_counters(self):
+        g = gnm_bipartite(20, 25, 80, seed=3)
+        with obs.capture() as m:
+            p = engine.plan(g, "count", calibration=DEFAULTS)
+            engine.execute(p, g)
+        assert m.value("engine.plan.calls") == 1
+        assert m.value("engine.plan.workload.count") == 1
+        assert m.value(f"engine.plan.strategy.{p.strategy}") == 1
+        assert m.value("engine.execute.calls") == 1
+        assert m.histogram("engine.actual_ms").count == 1
+
+    def test_engine_is_silent_when_obs_disabled(self):
+        g = gnm_bipartite(20, 25, 80, seed=3)
+        before = len(obs.registry())
+        assert not obs.is_enabled()
+        engine.plan(g, "count", calibration=DEFAULTS).execute(g)
+        assert len(obs.registry()) == before
+
+
+# ----------------------------------------------------------------------
+# 5. calibration
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def test_defaults_when_file_missing(self, tmp_path):
+        table = load_calibration(str(tmp_path / "nope.json"))
+        assert not table.calibrated and table.source is None
+        assert table.coefficients == DEFAULT_COEFFICIENTS
+        assert "defaults" in table.origin
+
+    def test_defaults_when_file_corrupt(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        table = load_calibration(str(path))
+        assert not table.calibrated
+
+    def test_save_load_round_trip(self, tmp_path):
+        coeffs = json.loads(json.dumps(DEFAULT_COEFFICIENTS))
+        coeffs["ns_per_op"]["spmv"] = 123.5
+        path = str(tmp_path / "cal.json")
+        save_calibration(CalibrationTable(coeffs, calibrated=True), path)
+        loaded = load_calibration(path)
+        assert loaded.calibrated and loaded.source == path
+        assert loaded.ns_per_op("spmv") == 123.5
+        # untouched keys merged over defaults
+        assert loaded.ns_per_panel == DEFAULT_COEFFICIENTS["ns_per_panel"]
+        assert "calibrated" in loaded.origin
+
+    def test_partial_file_merges_over_defaults(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({
+            "coefficients": {"ns_per_op": {"adjacency": 1.25}},
+        }))
+        table = load_calibration(str(path))
+        assert table.ns_per_op("adjacency") == 1.25
+        assert table.ns_per_op("scratch") == (
+            DEFAULT_COEFFICIENTS["ns_per_op"]["scratch"]
+        )
+
+    def test_calibrate_measures_positive_coefficients(self, tmp_path):
+        path = str(tmp_path / "measured.json")
+        table = calibrate(path=path, repeats=1, persist=True)
+        assert table.calibrated and table.source == path
+        for strategy in ("adjacency", "scratch", "spmv", "blocked"):
+            assert table.ns_per_op(strategy) > 0
+        assert table.ns_per_panel > 0
+        # persisted file loads back as the same coefficients
+        again = load_calibration(path)
+        assert again.coefficients == table.coefficients
+        # a calibrated table still plans correctly
+        g = power_law_bipartite(50, 60, 400, seed=6)
+        p = engine.plan(g, "count", calibration=table)
+        assert p.execute(g) == butterflies_spec_bform(g)
+
+
+# ----------------------------------------------------------------------
+# 6. backward compatibility
+# ----------------------------------------------------------------------
+class TestBackCompatShims:
+    def test_hand_picked_args_emit_single_deprecation_warning(self):
+        g = power_law_bipartite(30, 40, 200, seed=8)
+        expected = butterflies_spec_bform(g)
+        with pytest.warns(DeprecationWarning) as record:
+            assert count_butterflies(g, invariant=5) == expected
+        assert len(record) == 1
+        with pytest.warns(DeprecationWarning) as record:
+            assert count_butterflies(g, strategy="scratch") == expected
+        assert len(record) == 1
+
+    def test_auto_path_is_warning_free(self):
+        g = power_law_bipartite(30, 40, 200, seed=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            count_butterflies(g)
+            count_butterflies(g, ordering="degree")
+            p = engine.plan(g, "count", calibration=DEFAULTS)
+            count_butterflies(g, plan=p)
+
+    def test_plan_and_handpicked_args_conflict(self):
+        g = gnm_bipartite(10, 10, 30, seed=1)
+        p = engine.plan(g, "count", calibration=DEFAULTS)
+        with pytest.raises(ValueError, match="not both"):
+            count_butterflies(g, invariant=2, plan=p)
+
+    def test_expert_entry_point_stays_warning_free(self):
+        g = gnm_bipartite(20, 20, 80, seed=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for number in range(1, 9):
+                assert count_butterflies_unblocked(g, number) == (
+                    butterflies_spec_bform(g)
+                )
+
+    def test_peeling_entry_points_accept_plans(self):
+        g = power_law_bipartite(40, 50, 300, seed=3)
+        tip_plan = engine.plan(g, "tip", k=2, calibration=DEFAULTS)
+        assert (
+            k_tip(g, 2, plan=tip_plan).kept.tolist()
+            == k_tip(g, 2).kept.tolist()
+        )
+        wing_plan = engine.plan(g, "wing", k=2, calibration=DEFAULTS)
+        assert k_wing(g, 2, plan=wing_plan).n_edges == k_wing(g, 2).n_edges
+
+    def test_workmodel_import_untangled(self):
+        """Satellite: the work model lives in core.workinfo; the bench
+        module and the parallel balancer consume the same public API."""
+        from repro.bench import workmodel
+        from repro.core import parallel, workinfo
+
+        assert workmodel.work_profile is workinfo.work_profile
+        assert workmodel.WorkProfile is workinfo.WorkProfile
+        assert parallel.pivot_work_estimate is workinfo.pivot_work_estimate
+        assert parallel.spmv_scan_lengths is workinfo.spmv_scan_lengths
+
+
+# ----------------------------------------------------------------------
+# candidate table hygiene
+# ----------------------------------------------------------------------
+class TestCandidateTable:
+    def test_candidates_are_sorted_into_the_explain_table(self):
+        g = power_law_bipartite(60, 80, 600, seed=4)
+        cands = candidate_plans(g, "count", calibration=DEFAULTS)
+        chosen = engine.plan(g, "count", calibration=DEFAULTS)
+        assert chosen.est_seconds == min(c.est_seconds for c in cands)
+        # serial-family candidates cover both sides × all strategies
+        labels = {c.label for c in cands}
+        assert any("inv2" in label for label in labels)
+        assert any("inv6" in label for label in labels)
+
+    def test_bench_gate_treats_regret_as_lower_better(self):
+        from repro.bench.history import compare, metric_direction
+
+        assert metric_direction("planner_regret.regret") == "lower"
+        assert metric_direction("planner.regret_ratio") == "lower"
+        rows = compare(
+            {"planner_regret": {"regret": 1.0}},
+            {"planner_regret": {"regret": 2.0}},
+            tolerance=0.15,
+        )
+        (row,) = [r for r in rows if r.name.endswith("regret")]
+        assert row.status == "regression"

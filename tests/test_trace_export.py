@@ -203,13 +203,22 @@ class TestCliTraceOut:
         payload = json.loads(out.read_text())
         events = _assert_chrome_schema(payload)
         names = {e["name"] for e in events}
-        assert {"cli.count", "blocked.count", "blocked.panel"} <= names
-        # nesting: cli.count -> blocked.count(invariant) -> blocked.panel
+        assert {"cli.count", "engine.plan", "engine.execute",
+                "blocked.count", "blocked.panel"} <= names
+        # nesting: cli.count -> engine.execute -> blocked.count(invariant)
+        #          -> blocked.panel (the plan decision is a sibling span)
         complete = [e for e in events if e["ph"] == "X"]
         by_id = {e["args"]["span_id"]: e for e in complete}
         blocked = next(e for e in complete if e["name"] == "blocked.count")
         assert blocked["args"]["invariant"] == 3
-        assert by_id[blocked["args"]["parent_id"]]["name"] == "cli.count"
+        execute = by_id[blocked["args"]["parent_id"]]
+        assert execute["name"] == "engine.execute"
+        assert execute["args"]["invariant"] == 3
+        assert by_id[execute["args"]["parent_id"]]["name"] == "cli.count"
+        the_plan = next(e for e in complete if e["name"] == "engine.plan")
+        assert by_id[the_plan["args"]["parent_id"]]["name"] == "cli.count"
+        # the plan span and the execute span agree on the chosen decision
+        assert the_plan["args"]["chosen"] == execute["args"]["chosen"]
         panel = next(e for e in complete if e["name"] == "blocked.panel")
         assert by_id[panel["args"]["parent_id"]]["name"] == "blocked.count"
 
