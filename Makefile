@@ -7,7 +7,7 @@ PYTHON ?= python
 BASELINE ?= BENCH_baseline.json
 TOLERANCE ?= 0.15
 
-.PHONY: install test test-fast bench bench-quick bench-check bench-tables calibrate stats report examples clean all
+.PHONY: install test test-fast lint bench bench-quick bench-check bench-tables calibrate stats report examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -17,6 +17,15 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+# Static gates: the stdlib-only project analyzer (rules RPR001-RPR006,
+# see docs/analysis.md) always runs; ruff and mypy run when installed
+# (`pip install -e .[lint]`) and are skipped with a notice otherwise so
+# `make lint` works in the leanest container.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli analyze src/repro
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then 		$(PYTHON) -m ruff check src tests; 	else 		echo "lint: ruff not installed, skipping (pip install -e .[lint])"; 	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then 		$(PYTHON) -m mypy src/repro/_types.py src/repro/analysis; 	else 		echo "lint: mypy not installed, skipping (pip install -e .[lint])"; 	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,84 @@
+"""repro.analysis — project-native static analysis (domain lint rules).
+
+An AST-walking analyzer enforcing *this repo's* correctness conventions,
+not generic style: the int64 overflow discipline that keeps eq. (4) /
+eq. (18) butterfly counts exact, the layer boundaries between sparsela /
+core / parallel / engine, the observability hygiene contract, and the
+deprecation/exception policies.  Stdlib-only, so it runs in the leanest
+CI job and inside ``bench-quick``.
+
+Entry points::
+
+    repro-butterfly analyze src/repro            # human output, exit 1 on findings
+    repro-butterfly analyze --format json --out analysis.json
+    repro-butterfly analyze --rules RPR001,RPR002
+    make lint                                    # analyzer + ruff + mypy (if present)
+
+Library use::
+
+    from repro import analysis
+    report = analysis.analyze_paths(["src/repro"])
+    print(analysis.render_text(report))
+
+Rule catalog (full rationale in ``docs/analysis.md``):
+
+========  ==============================================================
+RPR001    private-module/symbol import across a package boundary
+RPR002    sum/cumsum without explicit ``COUNT_DTYPE`` in sparsela/core
+RPR003    observability hygiene (span usage, names, disabled-path cost)
+RPR004    engine-plan purity (no plan mutation / inline member selection)
+RPR005    deprecation policy (stacklevel>=2, documented shim list)
+RPR006    exception discipline (no bare/broad/swallowed handlers)
+========  ==============================================================
+
+Per-line suppression: ``# repro: noqa[RPR006] <justification>``.
+"""
+
+from repro.analysis.engine import (
+    ModuleContext,
+    Report,
+    analyze_paths,
+    analyze_source,
+    baseline_payload,
+    iter_python_files,
+    load_baseline,
+    module_name_for,
+)
+from repro.analysis.findings import SEVERITIES, Finding, Suppressions, parse_suppressions
+from repro.analysis.render import (
+    JSON_SCHEMA_ID,
+    render_json,
+    render_text,
+    report_payload,
+)
+from repro.analysis.rules import (
+    ALL_RULE_IDS,
+    DEPRECATION_SHIM_MODULES,
+    RULES,
+    Rule,
+    resolve_rules,
+)
+
+__all__ = [
+    "Finding",
+    "Suppressions",
+    "SEVERITIES",
+    "parse_suppressions",
+    "ModuleContext",
+    "Report",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_name_for",
+    "load_baseline",
+    "baseline_payload",
+    "Rule",
+    "RULES",
+    "ALL_RULE_IDS",
+    "DEPRECATION_SHIM_MODULES",
+    "resolve_rules",
+    "render_text",
+    "render_json",
+    "report_payload",
+    "JSON_SCHEMA_ID",
+]

@@ -1,0 +1,255 @@
+"""File discovery, parsing, rule dispatch and baseline filtering.
+
+The engine is deliberately stdlib-only (``ast`` + ``os``): the analyzer
+must run in the leanest CI container and inside ``bench-quick`` without
+dragging optional dependencies in.  One :class:`ModuleContext` is built
+per file (source text, parsed tree, dotted module name, suppression
+table) and every selected rule walks that shared context — each file is
+read and parsed exactly once per scan.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Suppressions, parse_suppressions
+
+__all__ = [
+    "ModuleContext",
+    "Report",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_name_for",
+    "load_baseline",
+    "baseline_payload",
+]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str  #: path reported in findings (repo-relative when possible)
+    module: str  #: dotted module name, e.g. ``"repro.core.family"``
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    #: dotted names of scanned packages (directories with ``__init__.py``);
+    #: lets RPR001 distinguish ``from pkg import _submodule`` from
+    #: ``from module import _symbol`` precisely.
+    known_packages: frozenset[str] = frozenset()
+
+    @property
+    def is_package(self) -> bool:
+        return os.path.basename(self.path) == "__init__.py"
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+@dataclass
+class Report:
+    """Result of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0  #: findings absorbed by ``# repro: noqa`` pragmas
+    baselined: int = 0  #: findings absorbed by the ``--baseline`` file
+    files: int = 0
+    rules: tuple[str, ...] = ()
+    elapsed_ms: float = 0.0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_errors) else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    # de-duplicate while preserving order
+    seen: set[str] = set()
+    unique = []
+    for p in out:
+        key = os.path.abspath(p)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path, anchored at the ``repro`` root.
+
+    ``src/repro/core/family.py`` → ``repro.core.family``;
+    ``src/repro/sparsela/__init__.py`` → ``repro.sparsela``.  Files outside
+    a ``repro`` tree (test fixtures) fall back to their stem.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    name = parts[-1]
+    stem = name[:-3] if name.endswith(".py") else name
+    try:
+        # anchor at the *last* 'repro' directory component (handles
+        # repo checkouts that are themselves named 'repro')
+        idx = len(parts) - 1 - parts[-2::-1].index("repro") - 1
+    except ValueError:
+        return stem
+    dotted = parts[idx:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(dotted)
+
+
+def known_packages_for(files: list[str]) -> frozenset[str]:
+    """Dotted names of every package (``__init__.py``) among ``files``."""
+    return frozenset(
+        module_name_for(f) for f in files if os.path.basename(f) == "__init__.py"
+    )
+
+
+def _display_path(path: str) -> str:
+    rel = os.path.relpath(path)
+    return path if rel.startswith("..") else rel
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    module: str | None = None,
+    rules: list[str] | None = None,
+    known_packages: frozenset[str] | None = None,
+) -> tuple[list[Finding], Suppressions]:
+    """Run the selected rules over one in-memory source blob.
+
+    The fixture entry point used by ``tests/test_analysis.py``; returns
+    (unsuppressed findings, suppression table with ``used`` filled in).
+    """
+    from repro.analysis.rules import DEFAULT_KNOWN_PACKAGES, resolve_rules
+
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+        known_packages=(
+            known_packages if known_packages is not None else DEFAULT_KNOWN_PACKAGES
+        ),
+    )
+    raw: list[Finding] = []
+    for rule in resolve_rules(rules):
+        raw.extend(rule.check(ctx))
+    kept: list[Finding] = []
+    for f in raw:
+        if ctx.suppressions.suppresses(f):
+            ctx.suppressions.used += 1
+        else:
+            kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, ctx.suppressions
+
+
+def analyze_paths(
+    paths: list[str],
+    rules: list[str] | None = None,
+    baseline: set[tuple[str, str, str]] | None = None,
+) -> Report:
+    """Analyze files/directories and return a :class:`Report`.
+
+    ``baseline`` is a set of :meth:`Finding.baseline_key` tuples to
+    filter out (see :func:`load_baseline`); matches are counted in
+    ``report.baselined`` rather than silently dropped.
+    """
+    from repro.analysis.rules import resolve_rules
+
+    t0 = time.perf_counter()
+    selected = resolve_rules(rules)
+    files = iter_python_files(paths)
+    packages = known_packages_for(files)
+    report = Report(rules=tuple(r.id for r in selected), files=len(files))
+    for filepath in files:
+        display = _display_path(filepath)
+        try:
+            with open(filepath, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            findings, supp = analyze_source(
+                source,
+                path=display,
+                module=module_name_for(filepath),
+                rules=rules,
+                known_packages=packages,
+            )
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{display}: {exc}")
+            continue
+        report.suppressed += supp.used
+        for f in findings:
+            if baseline and f.baseline_key() in baseline:
+                report.baselined += 1
+            else:
+                report.findings.append(f)
+    report.elapsed_ms = (time.perf_counter() - t0) * 1e3
+    _record_obs(report)
+    return report
+
+
+def _record_obs(report: Report) -> None:
+    """Fold scan cost into the observability stream (no-op when off)."""
+    try:
+        from repro import obs
+    except ImportError:  # pragma: no cover - analysis is importable alone
+        return
+    if obs._enabled:
+        obs.inc("analysis.scans")
+        obs.inc("analysis.files", report.files)
+        obs.inc("analysis.findings", len(report.findings))
+        obs.observe("analysis.scan_ms", report.elapsed_ms)
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """Load a baseline JSON written by ``analyze --write-baseline``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    entries = payload.get("entries", payload if isinstance(payload, list) else [])
+    out: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        out.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+    return out
+
+
+def baseline_payload(report: Report) -> dict[str, object]:
+    """Serialisable baseline for the report's current findings."""
+    return {
+        "schema": "repro.analysis.baseline/v1",
+        "entries": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in report.findings
+        ],
+    }

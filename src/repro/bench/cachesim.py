@@ -23,13 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.family import (
-    Reference,
-    Traversal,
-    _matrices_for_side,
-    _resolve_invariant,
-    pivot_order,
-)
+from repro.core.family import Reference, Traversal, pivot_order
+from repro.core.workinfo import matrices_for_side, resolve_invariant
 from repro.graphs.bipartite import BipartiteGraph
 
 __all__ = ["LRUCache", "CacheStats", "simulate_invariant_cache"]
@@ -147,8 +142,8 @@ def simulate_invariant_cache(
     CacheStats
         Hits/accesses over the replayed stream.
     """
-    inv = _resolve_invariant(invariant)
-    pivot_major, _ = _matrices_for_side(graph, inv.side)
+    inv = resolve_invariant(invariant)
+    pivot_major, _ = matrices_for_side(graph, inv.side)
     indptr = pivot_major.indptr
     nnz = pivot_major.nnz
     n = pivot_major.major_dim

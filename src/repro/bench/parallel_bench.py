@@ -199,6 +199,28 @@ def _planner_regret_section(repeats: int) -> dict:
     }
 
 
+def _analysis_section() -> dict:
+    """Static-analyzer self-scan cost over the installed ``repro`` tree.
+
+    ``scan_ms`` rides into ``BENCH_parallel.json`` and the flattened
+    ``BENCH_history.jsonl`` so analyzer slowdowns show up in the same
+    trend file as the counting kernels; ``findings`` must stay 0 (the
+    lint gate in CI enforces it — here it is informational).
+    """
+    import repro
+    from repro import analysis
+
+    tree = os.path.dirname(os.path.abspath(repro.__file__))
+    report = analysis.analyze_paths([tree])
+    return {
+        "tree": tree,
+        "files": report.files,
+        "findings": len(report.findings),
+        "suppressed": report.suppressed,
+        "scan_ms": round(report.elapsed_ms, 3),
+    }
+
+
 def run_benchmark(
     n_workers: int = 2, repeats: int = 5, throughput: bool = True
 ) -> dict:
@@ -210,6 +232,7 @@ def run_benchmark(
         "cpu_count": os.cpu_count(),
         "dispatch_overhead": _dispatch_overhead_section(n_workers, repeats),
         "planner_regret": _planner_regret_section(repeats),
+        "analysis": _analysis_section(),
     }
     if throughput:
         payload["throughput"] = _throughput_section(n_workers, repeats)

@@ -290,6 +290,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable merged snapshot")
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run the project-native static analyzer (rules RPR001-RPR006)",
+    )
+    p_an.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to scan (default: src/repro)",
+    )
+    p_an.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json follows schema repro.analysis.report/v1)",
+    )
+    p_an.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run, e.g. RPR001,RPR006 "
+        "(default: all)",
+    )
+    p_an.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="JSON baseline of accepted findings to filter out "
+        "(written by --write-baseline)",
+    )
+    p_an.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="record the current findings as the accepted baseline and "
+        "exit 0",
+    )
+    p_an.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report (in the chosen --format) to PATH",
+    )
     return p
 
 
@@ -580,6 +612,42 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """``repro-butterfly analyze`` — the domain lint gate (docs/analysis.md)."""
+    import json as _json
+
+    from repro import analysis
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    baseline = None
+    if args.baseline:
+        baseline = analysis.load_baseline(args.baseline)
+    report = analysis.analyze_paths(list(args.paths), rules=rules,
+                                    baseline=baseline)
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as fh:
+            _json.dump(analysis.baseline_payload(report), fh, indent=2)
+            fh.write("\n")
+        print(
+            f"baseline: recorded {len(report.findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+    rendered = (
+        analysis.render_json(report)
+        if args.format == "json"
+        else analysis.render_text(report)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+            fh.write("\n")
+    print(rendered)
+    return report.exit_code
+
+
 def main(argv=None) -> int:
     """CLI entry point (installed as ``repro-butterfly``)."""
     args = build_parser().parse_args(argv)
@@ -593,6 +661,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "algorithms": _cmd_algorithms,
         "stats": _cmd_stats,
+        "analyze": _cmd_analyze,
     }[args.command]
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro._types import COUNT_DTYPE
 from repro.core.family import (
     Invariant,
     Reference,
@@ -49,8 +50,7 @@ from repro.core.family import (
     _resolve_invariant,
 )
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import gather_slices, panel_choose2_sum
-from repro.sparsela._compressed import CompressedPattern
+from repro.sparsela import CompressedPattern, gather_slices, panel_choose2_sum
 
 __all__ = [
     "count_butterflies_blocked",
@@ -125,7 +125,7 @@ def panel_butterflies(
     pivots = np.arange(lo, hi, dtype=np.int64)
     # neighbourhood sizes per pivot
     deg = indptr[pivots + 1] - indptr[pivots]
-    if deg.sum() == 0:
+    if deg.sum(dtype=COUNT_DTYPE) == 0:
         return 0
     # all (pivot, other-side neighbor) incidences of the panel
     neighbors = pivot_major.indices[indptr[lo] : indptr[hi]]

@@ -73,9 +73,9 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro._types import COUNT_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import expand_indptr, gather_slices
-from repro.sparsela._compressed import CompressedPattern
+from repro.sparsela import CompressedPattern, expand_indptr, gather_slices
 
 __all__ = [
     "Side",
@@ -272,7 +272,7 @@ def _butterflies_at_pivot_scratch(
     if endpoints.size == 0:
         return 0
     np.add.at(scratch, endpoints, 1)
-    sum_sq = int(scratch[endpoints].sum())
+    sum_sq = int(scratch[endpoints].sum(dtype=COUNT_DTYPE))
     scratch[endpoints] = 0
     return (sum_sq - endpoints.size) // 2
 
@@ -432,7 +432,11 @@ def has_at_least(
             f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
         )
     if invariant is None:
-        invariant = 2 if graph.n_right <= graph.n_left else 6
+        # Section V smaller-side rule lives in the engine's cost model;
+        # lazy import keeps core importable without the engine package.
+        from repro.engine import select_count_invariant
+
+        invariant = select_count_invariant(graph)
     inv = _resolve_invariant(invariant)
     pivot_major, complementary = _matrices_for_side(graph, inv.side)
     n = pivot_major.major_dim
@@ -552,8 +556,12 @@ def count_butterflies(
             family_only=True,
             executor="serial",
         )
-    inv = _resolve_invariant(plan.invariant if plan.invariant is not None
-                             else (2 if graph.n_right <= graph.n_left else 6))
+    if plan.invariant is not None:
+        inv = _resolve_invariant(plan.invariant)
+    else:
+        from repro.engine import select_count_invariant
+
+        inv = _resolve_invariant(select_count_invariant(graph))
     if ordering is not None:
         if ordering not in ("degree", "degree-desc"):
             raise ValueError(

@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
-from repro._types import COUNT_DTYPE
+from repro._types import COUNT_DTYPE, INDEX_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
 from repro.sparsela import gather_slices
 from repro.sparsela.linalg import choose2_dense
@@ -139,7 +139,7 @@ def vertex_counts_panel(
     comp_deg = np.diff(complementary.indptr)
     pivots = np.arange(lo, hi, dtype=np.int64)
     deg = indptr[pivots + 1] - indptr[pivots]
-    if deg.sum() == 0:
+    if deg.sum(dtype=COUNT_DTYPE) == 0:
         return out
     neighbors = pivot_major.indices[indptr[lo] : indptr[hi]]
     owner = np.repeat(pivots, deg)
@@ -168,7 +168,7 @@ def paper_tip_vector(graph: BipartiteGraph) -> np.ndarray:
     a = graph.biadjacency_dense(np.int64)
     b = a @ a.T
     bb_diag = np.einsum("ij,ji->i", b, b)
-    jb_diag = b.sum(axis=0)  # diag(J·B) = column sums of B
+    jb_diag = b.sum(axis=0, dtype=COUNT_DTYPE)  # diag(J·B) = column sums of B
     s4 = bb_diag - np.diagonal(b) ** 2 - jb_diag + np.diagonal(b)
     return s4 // 4
 
@@ -183,7 +183,7 @@ def vertex_counts_dense(graph: BipartiteGraph, side: str = "left") -> np.ndarray
     b = a @ a.T
     c = choose2_dense(b)
     np.fill_diagonal(c, 0)
-    return c.sum(axis=1)
+    return c.sum(axis=1, dtype=COUNT_DTYPE)
 
 
 def edge_butterfly_support(graph: BipartiteGraph) -> np.ndarray:
@@ -222,8 +222,8 @@ def edge_butterfly_support(graph: BipartiteGraph) -> np.ndarray:
         # array already holds every such w grouped by v, so segment-sum it
         seg_lens = csc.indptr[nbrs + 1] - csc.indptr[nbrs]
         vals = c[endpoints]
-        csum = np.concatenate([[0], np.cumsum(vals)])
-        seg_ends = np.cumsum(seg_lens)
+        csum = np.concatenate([[0], np.cumsum(vals, dtype=COUNT_DTYPE)])
+        seg_ends = np.cumsum(seg_lens, dtype=INDEX_DTYPE)
         seg_starts = seg_ends - seg_lens
         sums = csum[seg_ends] - csum[seg_starts]
         support[csr.indptr[u] : csr.indptr[u + 1]] = (
@@ -289,7 +289,7 @@ def edge_butterfly_support_blocked(
         )
         csum = np.zeros(vals.size + 1, dtype=COUNT_DTYPE)
         np.cumsum(vals, out=csum[1:])
-        seg_ends = np.cumsum(wedge_deg)
+        seg_ends = np.cumsum(wedge_deg, dtype=INDEX_DTYPE)
         seg_starts = seg_ends - wedge_deg
         sums = csum[seg_ends] - csum[seg_starts]
         support[e_lo:e_hi] = (

@@ -61,13 +61,15 @@ from repro.sparsela import PatternCSC, PatternCSR, expand_indptr
 __all__ = [
     "count_butterflies_parallel",
     "vertex_butterfly_counts_parallel",
+    "count_range",
+    "parallel_work_model",
     "pivot_work_estimate",
     "spmv_scan_lengths",
     "balanced_ranges",
 ]
 
 
-def _parallel_work_model(
+def parallel_work_model(
     pivot_major, complementary, strategy: str, reference: Reference
 ) -> np.ndarray:
     """Per-pivot work estimate used to balance the parallel ranges."""
@@ -122,7 +124,7 @@ def balanced_ranges(work: np.ndarray, n_chunks: int) -> list[tuple[int, int]]:
     return out
 
 
-def _count_range(
+def count_range(
     pivot_major,
     complementary,
     lo: int,
@@ -172,6 +174,11 @@ def _count_range(
 _WORKER: dict = {}
 
 
+#: Back-compat private aliases (public names are the supported surface).
+_count_range = count_range
+_parallel_work_model = parallel_work_model
+
+
 def _worker_init(
     side_value,
     reference_value,
@@ -200,7 +207,7 @@ def _worker_init(
 
 def _worker_count_range(bounds: tuple[int, int]) -> int:
     lo, hi = bounds
-    return _count_range(
+    return count_range(
         _WORKER["pivot_major"],
         _WORKER["complementary"],
         lo,
@@ -328,7 +335,7 @@ def _count_parallel_body(
     else:
         side_e = Side(side)
     pivot_major, complementary = _matrices_for_side(graph, side_e)
-    work = _parallel_work_model(pivot_major, complementary, strategy, reference)
+    work = parallel_work_model(pivot_major, complementary, strategy, reference)
     ranges = balanced_ranges(work, n_workers * chunks_per_worker)
     if obs._enabled:
         obs.inc("parallel.ranges", len(ranges))
@@ -337,7 +344,7 @@ def _count_parallel_body(
 
     if executor in ("serial", "shared") or n_workers == 1:
         return sum(
-            _count_range(pivot_major, complementary, lo, hi, reference, strategy)
+            count_range(pivot_major, complementary, lo, hi, reference, strategy)
             for lo, hi in ranges
         )
 
@@ -353,7 +360,7 @@ def _count_parallel_body(
                 if strategy == "spmv"
                 else None
             )
-            return _count_range(
+            return count_range(
                 pivot_major, complementary, lo, hi, reference, strategy,
                 entry_ids, marker,
             )

@@ -66,7 +66,7 @@ class TipResult:
     @property
     def n_kept(self) -> int:
         """Vertices surviving on the peeled side."""
-        return int(self.kept.sum())
+        return int(np.count_nonzero(self.kept))
 
 
 def _peel_side_sizes(graph: BipartiteGraph, side: str) -> int:

@@ -22,6 +22,7 @@ in the derivation itself.
 from __future__ import annotations
 
 import numpy as np
+from repro._types import COUNT_DTYPE
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.sparsela.linalg import (
@@ -72,7 +73,7 @@ def pairwise_butterfly_matrix(graph_or_matrix) -> np.ndarray:
 def butterflies_spec_upper(graph_or_matrix) -> int:
     """Eq. (1): Ξ_G = Σ_{i<j} C_ij — sum the strict upper triangle of C."""
     c = pairwise_butterfly_matrix(graph_or_matrix)
-    return int(np.triu(c, k=1).sum())
+    return int(np.triu(c, k=1).sum(dtype=COUNT_DTYPE))
 
 
 def butterflies_spec_trace(graph_or_matrix) -> int:
@@ -85,7 +86,7 @@ def butterflies_spec_trace(graph_or_matrix) -> int:
     b = a @ a.T
     j = ones_matrix(m)
     c2 = hadamard(b, b - j)  # 2·C, kept doubled to stay in exact ints
-    total = int(c2.sum())
+    total = int(c2.sum(dtype=COUNT_DTYPE))
     trace = int(gamma(c2))
     # Ξ = ½ Σ C − ½ Γ(C) = ¼ Σ 2C − ¼ Γ(2C)
     return (total - trace) // 4

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro._types import COUNT_DTYPE
 
 from repro.core.family import (
     Invariant,
@@ -145,7 +146,7 @@ def work_profile(
         invariant=inv.number,
         strategy=strategy,
         pivots=n,
-        total_ops=int(per_pivot.sum()),
+        total_ops=int(per_pivot.sum(dtype=COUNT_DTYPE)),
         max_pivot_ops=int(per_pivot.max()) if n else 0,
     )
 

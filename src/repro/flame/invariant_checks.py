@@ -32,10 +32,10 @@ from repro.core.family import (
     Reference,
     Side,
     Traversal,
-    _resolve_invariant,
     count_butterflies_unblocked,
 )
 from repro.core.spec import partitioned_spec_columns, partitioned_spec_rows
+from repro.core.workinfo import resolve_invariant
 from repro.graphs.bipartite import BipartiteGraph
 
 __all__ = ["expected_partial_count", "check_invariant_trace"]
@@ -49,7 +49,7 @@ def expected_partial_count(
     Evaluates the invariant's category sum with the dense partitioned
     specification (eqs. 9/12), independent of any loop algorithm.
     """
-    inv: Invariant = _resolve_invariant(invariant)
+    inv: Invariant = resolve_invariant(invariant)
     if inv.side is Side.COLUMNS:
         n = graph.n_right
         spec = partitioned_spec_columns
@@ -88,7 +88,7 @@ def check_invariant_trace(
     violation; returns the final count otherwise.  This is the executable
     form of the FLAME proof-of-correctness for the given invariant.
     """
-    inv = _resolve_invariant(invariant)
+    inv = resolve_invariant(invariant)
     failures: list[str] = []
 
     def on_step(step: int, pivot: int, running: int) -> None:

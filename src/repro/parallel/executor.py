@@ -49,13 +49,8 @@ import numpy as np
 
 from repro import obs
 from repro._types import COUNT_DTYPE
-from repro.core.family import (
-    Invariant,
-    Reference,
-    Side,
-    _matrices_for_side,
-    _resolve_invariant,
-)
+from repro.core.family import Invariant, Reference, Side
+from repro.core.workinfo import matrices_for_side, resolve_invariant
 from repro.graphs.bipartite import BipartiteGraph
 from repro.parallel.shm import SharedGraphBuffers, attach_graph
 from repro.sparsela import expand_indptr
@@ -85,7 +80,7 @@ def _attached(meta):
             _, (old_shm, *_rest) = _ATTACHED.popitem(last=False)
             try:
                 old_shm.close()
-            except OSError:  # pragma: no cover - defensive
+            except OSError:  # pragma: no cover - defensive; repro: noqa[RPR006] evicted segment already unmapped by the OS
                 pass
     else:
         _ATTACHED.move_to_end(name)
@@ -143,7 +138,7 @@ def _shm_count_range(args) -> tuple:
     :func:`repro.obs.snapshot` for this task when the owner dispatched
     with observability on.
     """
-    from repro.core.parallel import _count_range
+    from repro.core.parallel import count_range
 
     meta, side_value, reference_value, strategy, lo, hi, collect = args
     _collect_begin(collect)
@@ -156,12 +151,12 @@ def _shm_count_range(args) -> tuple:
             pivot_major, complementary = csr, csc
         extra0, extra1 = _strategy_state(entry, pivot_major, strategy, side_value)
         if strategy == "scratch":
-            value = _count_range(
+            value = count_range(
                 pivot_major, complementary, lo, hi,
                 Reference(reference_value), strategy, scratch=extra0,
             )
         else:
-            value = _count_range(
+            value = count_range(
                 pivot_major, complementary, lo, hi,
                 Reference(reference_value), strategy, extra0, extra1,
             )
@@ -340,8 +335,9 @@ class ButterflyExecutor:
         span records shipped inside the metric deltas under it.
         """
         self.dispatch_count += 1
-        obs.inc("executor.dispatch")
-        obs.inc("executor.tasks", len(tasks))
+        if obs._enabled:
+            obs.inc("executor.dispatch")
+            obs.inc("executor.tasks", len(tasks))
         pool = self._ensure_pool()
         self._last_dispatch = None
         try:
@@ -385,9 +381,9 @@ class ButterflyExecutor:
         """Ξ_G over the warm pool; same contract as
         :func:`~repro.core.parallel.count_butterflies_parallel`."""
         from repro.core.parallel import (
-            _count_range,
-            _parallel_work_model,
             balanced_ranges,
+            count_range,
+            parallel_work_model,
         )
 
         if strategy not in ("adjacency", "scratch", "spmv"):
@@ -397,23 +393,25 @@ class ButterflyExecutor:
             )
         reference = Reference.SUFFIX
         if invariant is not None:
-            inv = _resolve_invariant(invariant)
+            inv = resolve_invariant(invariant)
             side_e, reference = inv.side, inv.reference
         elif side is None:
-            side_e = Side.COLUMNS if graph.n_right <= graph.n_left else Side.ROWS
+            from repro.engine import select_count_invariant
+
+            side_e = resolve_invariant(select_count_invariant(graph)).side
         elif isinstance(side, Side):
             side_e = side
         else:
             side_e = Side(side)
-        pivot_major, complementary = _matrices_for_side(graph, side_e)
-        work = _parallel_work_model(pivot_major, complementary, strategy, reference)
+        pivot_major, complementary = matrices_for_side(graph, side_e)
+        work = parallel_work_model(pivot_major, complementary, strategy, reference)
         cpw = self.chunks_per_worker if chunks_per_worker is None else chunks_per_worker
         ranges = balanced_ranges(work, self.n_workers * cpw)
         if not ranges:
             return 0
         if self.n_workers == 1:
             return sum(
-                _count_range(pivot_major, complementary, lo, hi, reference, strategy)
+                count_range(pivot_major, complementary, lo, hi, reference, strategy)
                 for lo, hi in ranges
             )
         meta = self._publish(graph).meta

@@ -169,7 +169,7 @@ class SharedGraphBuffers:
         if self._shm is not None:
             try:
                 self._shm.close()
-            except OSError:  # pragma: no cover - defensive
+            except OSError:  # pragma: no cover - defensive; repro: noqa[RPR006] close() is best-effort on teardown
                 pass
 
     def unlink(self) -> None:
@@ -180,11 +180,11 @@ class SharedGraphBuffers:
             return
         try:
             shm.close()
-        except OSError:  # pragma: no cover - defensive
+        except OSError:  # pragma: no cover - defensive; repro: noqa[RPR006] unlink below is the operation that matters
             pass
         try:
             shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - racing cleanup
+        except FileNotFoundError:  # pragma: no cover; repro: noqa[RPR006] racing cleanup with the resource tracker is expected
             pass
 
     # ------------------------------------------------------------------

@@ -102,7 +102,7 @@ class PatternCSC(CompressedPattern):
         """Submatrix keeping only ``col_ids`` (in the given order)."""
         col_ids = np.asarray(col_ids, dtype=INDEX_DTYPE)
         lengths = self.indptr[col_ids + 1] - self.indptr[col_ids]
-        total = int(lengths.sum())
+        total = int(lengths.sum(dtype=INDEX_DTYPE))
         indptr = np.zeros(len(col_ids) + 1, dtype=INDEX_DTYPE)
         np.cumsum(lengths, out=indptr[1:])
         indices = np.empty(total, dtype=INDEX_DTYPE)

@@ -108,7 +108,7 @@ class PatternCSR(CompressedPattern):
         """
         row_ids = np.asarray(row_ids, dtype=INDEX_DTYPE)
         lengths = self.indptr[row_ids + 1] - self.indptr[row_ids]
-        total = int(lengths.sum())
+        total = int(lengths.sum(dtype=INDEX_DTYPE))
         indptr = np.zeros(len(row_ids) + 1, dtype=INDEX_DTYPE)
         np.cumsum(lengths, out=indptr[1:])
         indices = np.empty(total, dtype=INDEX_DTYPE)

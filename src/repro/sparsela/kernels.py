@@ -55,7 +55,7 @@ def gather_slices(
         return np.empty(0, dtype=indices.dtype)
     starts = indptr[ids]
     lengths = indptr[ids + 1] - starts
-    total = int(lengths.sum())
+    total = int(lengths.sum(dtype=INDEX_DTYPE))
     if total == 0:
         return np.empty(0, dtype=indices.dtype)
     # offsets[k] = position in the output where slice k begins
@@ -191,13 +191,14 @@ def _record_panel_reduction(
     chosen: str, owners_local: np.ndarray, endpoints: np.ndarray
 ) -> None:
     """Per-kernel op/byte counters keyed by the resolved ablation choice."""
-    obs.inc("kernels.panel.calls")
-    obs.inc(f"kernels.panel.method.{chosen}")
-    obs.inc("kernels.panel.wedges", int(endpoints.size))
-    obs.inc(
-        "kernels.panel.bytes",
-        int(np.asarray(endpoints).nbytes + np.asarray(owners_local).nbytes),
-    )
+    if obs._enabled:
+        obs.inc("kernels.panel.calls")
+        obs.inc(f"kernels.panel.method.{chosen}")
+        obs.inc("kernels.panel.wedges", int(endpoints.size))
+        obs.inc(
+            "kernels.panel.bytes",
+            int(np.asarray(endpoints).nbytes + np.asarray(owners_local).nbytes),
+        )
 
 
 def _owner_segment_bounds(owners_local: np.ndarray, n_pivots: int) -> np.ndarray:

@@ -55,12 +55,12 @@ def hadamard_trace(x: np.ndarray, y: np.ndarray) -> int | float:
     Computed in the cheap form (no matrix product); the test-suite asserts
     equality with ``gamma(x @ y.T)`` to validate the identity itself.
     """
-    return hadamard(x, y).sum()
+    return hadamard(x, y).sum()  # repro: noqa[RPR002] float-or-int oracle; dtype follows operands
 
 
 def total_sum(x: np.ndarray) -> int | float:
     """``Σ_ij X_ij`` over all entries."""
-    return np.asarray(x).sum()
+    return np.asarray(x).sum()  # repro: noqa[RPR002] float-or-int oracle; dtype follows operands
 
 
 def diag_vector(x: np.ndarray) -> np.ndarray:

@@ -276,7 +276,7 @@ def ewise_mult(
 
 def reduce_scalar(c: ValuedCSR) -> int:
     """⊕-reduce all stored values to a scalar (plus monoid)."""
-    return int(c.values.sum())
+    return int(c.values.sum())  # repro: noqa[RPR002] values dtype owned by the semiring monoid
 
 
 def _strict_filter(c: ValuedCSR, keep_upper: bool) -> ValuedCSR:

@@ -1,0 +1,64 @@
+"""int64 overflow discipline: butterfly counts beyond 2^31 stay exact.
+
+The K_{2,n} biclique is the cheapest graph whose butterfly count blows
+through int32: every pair of the ``n`` right vertices closes a butterfly
+with the two left hubs, so
+
+    Ξ(K_{2,n}) = C(2,2) · C(n,2) = n(n-1)/2.
+
+With n = 70 000 that is 2 449 965 000 > 2^31 = 2 147 483 648 from only
+140 000 edges.  The per-pivot multiplicity is 70 000, so the
+``counts·(counts−1)`` intermediate is ≈ 4.9·10⁹ > 2^32 — a genuine int32
+tripwire at every accumulation site the RPR002 lint rule guards
+(see docs/analysis.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    count_butterflies_blocked,
+    count_butterflies_parallel,
+    count_butterflies_unblocked,
+)
+from repro.graphs import BipartiteGraph
+
+N_RIGHT = 70_000
+EXPECTED = N_RIGHT * (N_RIGHT - 1) // 2  # 2_449_965_000 > 2**31
+
+
+@pytest.fixture(scope="module")
+def big_biclique() -> BipartiteGraph:
+    """K_{2,70000}: two left hubs adjacent to every right vertex."""
+    left = np.repeat(np.arange(2, dtype=np.int64), N_RIGHT)
+    right = np.tile(np.arange(N_RIGHT, dtype=np.int64), 2)
+    return BipartiteGraph(np.column_stack([left, right]))
+
+
+def test_expected_exceeds_int32() -> None:
+    assert EXPECTED > 2**31
+    # the wedge-pair intermediate overflows uint32 too
+    assert N_RIGHT * (N_RIGHT - 1) > 2**32
+
+
+def test_family_sweep_past_2_31(big_biclique: BipartiteGraph) -> None:
+    # invariant 6 pivots on the 2-vertex side: 2 pivots, huge multiplicity
+    assert count_butterflies_unblocked(big_biclique, 6) == EXPECTED
+
+
+def test_family_scratch_strategy_past_2_31(big_biclique: BipartiteGraph) -> None:
+    got = count_butterflies_unblocked(big_biclique, 6, strategy="scratch")
+    assert got == EXPECTED
+
+
+def test_blocked_panel_past_2_31(big_biclique: BipartiteGraph) -> None:
+    assert count_butterflies_blocked(big_biclique, 6) == EXPECTED
+
+
+def test_shared_executor_past_2_31(big_biclique: BipartiteGraph) -> None:
+    got = count_butterflies_parallel(
+        big_biclique, n_workers=2, invariant=6, executor="shared"
+    )
+    assert got == EXPECTED

@@ -252,11 +252,11 @@ def test_spmv_scan_lengths_triangular(medium_graph):
 def test_spmv_work_model_is_not_uniform(medium_graph):
     """Regression: the seed modelled spmv work as np.ones — pivot 0 and
     pivot n-1 have wildly different suffix scan lengths."""
-    from repro.core.parallel import _parallel_work_model
+    from repro.core.parallel import parallel_work_model
     from repro.core.family import Reference
 
     pm, co = medium_graph.csr, medium_graph.csc
-    work = _parallel_work_model(pm, co, "spmv", Reference.SUFFIX)
+    work = parallel_work_model(pm, co, "spmv", Reference.SUFFIX)
     assert work.dtype.kind in "iu"
     assert work[0] >= work[-1]  # suffix scans shrink toward the end
     assert len(np.unique(work)) > 1
