@@ -132,13 +132,58 @@ def _throughput_section(n_workers: int, repeats: int) -> dict:
     }
 
 
+def _wedge_section(n_workers: int, repeats: int) -> dict:
+    """Wedge-partitioned backend vs the default shared path.
+
+    The graph is a *skewed* power law with many low-degree pivots on
+    both sides — the shape where the per-pivot dispatch of the unblocked
+    strategies pays the most interpreter overhead and the wedge backend's
+    fused per-shard reductions pay the least.  ``wedge_speedup_ratio``
+    (shared-default ÷ wedge wall-clock; higher is better) is flattened
+    into ``BENCH_history.jsonl`` where the ``bench --compare`` gate
+    watches it, and ``planner_choice`` records whether a pool-pinned plan
+    picks the wedge candidate on cost-model merit (not because it was
+    pinned).
+    """
+    from repro import engine
+
+    g = power_law_bipartite(30_000, 40_000, 120_000, seed=17)
+    with ButterflyExecutor(n_workers=n_workers) as ex:
+        expected = ex.count(g, strategy="wedge")  # warm pool + segment
+        t_wedge, v_wedge = _best_of(
+            lambda: ex.count(g, strategy="wedge"), repeats
+        )
+        t_shared, v_shared = _best_of(lambda: ex.count(g), repeats)
+    assert v_wedge == expected, "wedge path disagrees"
+    assert v_shared == expected, "shared default path disagrees"
+    table = engine.calibrate(repeats=1, persist=False)
+    chosen = engine.plan(g, "count", workers=n_workers, calibration=table)
+    return {
+        "graph": {
+            "generator": "power_law_bipartite(30000, 40000, 120000, seed=17)",
+            "n_left": g.n_left,
+            "n_right": g.n_right,
+            "n_edges": g.n_edges,
+            "butterflies": expected,
+        },
+        "seconds_shared_default_per_call": t_shared,
+        "seconds_wedge_per_call": t_wedge,
+        "wedge_speedup_ratio": t_shared / t_wedge,
+        "planner_choice": {
+            "chosen_plan": chosen.label,
+            "wedge_chosen": chosen.strategy == "wedge",
+        },
+    }
+
+
 def _planner_regret_section(repeats: int) -> dict:
     """Engine-planner regret: auto plan time ÷ best hand-picked member.
 
     The auto path pays planning (graph stats + cost model) *and*
     execution; the baseline is the best-of grid over the hand-picked
     family members (invariants 2/6 × the three unblocked strategies,
-    plus the blocked panel kernel at its default width).  The planner
+    plus the blocked panel kernel at its default width and the serial
+    wedge-partitioned shard walk).  The planner
     runs with a *measured* calibration table (``calibrate(repeats=1)``,
     not persisted) — the shipped defaults are deliberately generic, and
     this section grades the engine as deployed: calibrated once per
@@ -175,6 +220,15 @@ def _planner_regret_section(repeats: int) -> dict:
             repeats,
         )
         hand_picked[f"inv{number}-blocked-b64"] = t
+        assert v == expected
+        t, v = _best_of(
+            lambda n=number: count_butterflies_parallel(
+                g, n_workers=1, executor="serial", invariant=n,
+                strategy="wedge",
+            ),
+            repeats,
+        )
+        hand_picked[f"inv{number}-wedge"] = t
         assert v == expected
 
     def auto():
@@ -232,6 +286,7 @@ def run_benchmark(
         "cpu_count": os.cpu_count(),
         "dispatch_overhead": _dispatch_overhead_section(n_workers, repeats),
         "planner_regret": _planner_regret_section(repeats),
+        "wedge": _wedge_section(n_workers, repeats),
         "analysis": _analysis_section(),
     }
     if throughput:
@@ -310,6 +365,14 @@ def main(argv=None) -> int:
     print(f"  best member [{r['best_member']}] : "
           f"{r['seconds_best_member'] * 1e3:8.2f} ms/call")
     print(f"  regret            : {r['regret']:8.2f}x  (lower is better)")
+    w = payload["wedge"]
+    print(f"wedge backend ({w['graph']['n_edges']} edges, skewed):")
+    print(f"  shared default    : "
+          f"{w['seconds_shared_default_per_call'] * 1e3:8.2f} ms/call")
+    print(f"  wedge shards      : "
+          f"{w['seconds_wedge_per_call'] * 1e3:8.2f} ms/call")
+    print(f"  speedup           : {w['wedge_speedup_ratio']:8.2f}x  "
+          f"(planner chose {w['planner_choice']['chosen_plan']})")
     return 0
 
 

@@ -107,9 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_count.add_argument(
         "--strategy",
-        choices=("adjacency", "scratch", "spmv"),
+        choices=("adjacency", "scratch", "spmv", "wedge"),
         default=None,
-        help="update strategy (default: the engine's cost model chooses)",
+        help="update strategy (default: the engine's cost model chooses; "
+        "'wedge' runs the wedge-partitioned shard backend)",
     )
     p_count.add_argument(
         "--auto",
@@ -182,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explain.add_argument(
         "--strategy",
-        choices=("adjacency", "scratch", "spmv", "blocked"),
+        choices=("adjacency", "scratch", "spmv", "blocked", "wedge"),
         default=None, help="pin the update strategy",
     )
     p_explain.add_argument(
@@ -244,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--side", choices=("left", "right"), default="left")
     p_dec.add_argument(
         "--top", type=int, default=10, help="show the N highest-numbered items"
+    )
+    p_dec.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="peel with bucketed parallel rounds over N workers "
+        "(default: sequential)",
     )
 
     p_gen = sub.add_parser(
@@ -364,6 +373,13 @@ def _count_plan_from_args(args, g):
         return engine.plan(
             g, "count", invariant=args.invariant, strategy=args.strategy,
             executor=executor, workers=args.workers,
+        )
+    if args.strategy == "wedge":
+        # not a member of the sequential family: plan it over the open
+        # plan space so the executor/worker choice stays cost-based
+        return engine.plan(
+            g, "count", invariant=args.invariant, strategy="wedge",
+            block_size=args.block_size,
         )
     if args.auto:  # full plan space: blocked/parallel candidates included
         return engine.plan(
@@ -532,18 +548,30 @@ def _cmd_bench_gate(args) -> int:
 def _cmd_decompose(args) -> int:
     g = _load(args.graph)
     if args.mode == "tip":
-        from repro.core import tip_numbers_bucket
+        if args.workers is not None and args.workers > 1:
+            from repro.core import tip_numbers_bucket_parallel
 
-        numbers = tip_numbers_bucket(g, side=args.side)
+            numbers = tip_numbers_bucket_parallel(
+                g, side=args.side, n_workers=args.workers
+            )
+        else:
+            from repro.core import tip_numbers_bucket
+
+            numbers = tip_numbers_bucket(g, side=args.side)
         order = numbers.argsort()[::-1][: args.top]
         print(f"tip numbers ({args.side} side), top {args.top}:")
         for v in order:
             print(f"  vertex {int(v):6d}: {int(numbers[v])}")
         print(f"max tip number: {int(numbers.max()) if numbers.size else 0}")
     else:
-        from repro.core import wing_numbers
+        if args.workers is not None and args.workers > 1:
+            from repro.core import wing_numbers_bucket_parallel
 
-        wn = wing_numbers(g)
+            wn = wing_numbers_bucket_parallel(g, n_workers=args.workers)
+        else:
+            from repro.core import wing_numbers
+
+            wn = wing_numbers(g)
         ranked = sorted(wn.items(), key=lambda kv: -kv[1])[: args.top]
         print(f"wing numbers, top {args.top}:")
         for (u, v), w in ranked:

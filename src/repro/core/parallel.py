@@ -66,14 +66,21 @@ __all__ = [
     "pivot_work_estimate",
     "spmv_scan_lengths",
     "balanced_ranges",
+    "wedge_shards",
+    "DEFAULT_WEDGE_SHARD_BUDGET",
 ]
+
+#: Per-shard wedge cap for ``strategy="wedge"``: 2^18 wedge expansions keep
+#: a shard's owner/endpoint arrays cache-resident (mirrors the planner's
+#: ``DEFAULT_PLAN_BLOCK_BUDGET``).
+DEFAULT_WEDGE_SHARD_BUDGET = 1 << 18
 
 
 def parallel_work_model(
     pivot_major, complementary, strategy: str, reference: Reference
 ) -> np.ndarray:
     """Per-pivot work estimate used to balance the parallel ranges."""
-    if strategy in ("adjacency", "scratch"):
+    if strategy in ("adjacency", "scratch", "wedge"):
         return pivot_work_estimate(pivot_major, complementary)
     # spmv: dominated by the reference-partition scan, triangular in the
     # pivot index; add the pivot's own degree (the marker scatter).
@@ -107,21 +114,62 @@ def balanced_ranges(work: np.ndarray, n_chunks: int) -> list[tuple[int, int]]:
         # no work anywhere: fall back to equal-width ranges
         edges = np.linspace(0, n, n_chunks + 1).astype(int)
     else:
-        if exact:
-            # integer targets: k-th boundary at ⌈total·k / n_chunks⌉,
-            # computed without ever leaving int64
-            ks = np.arange(n_chunks + 1, dtype=np.int64)
-            targets = (int(total) * ks) // n_chunks
-        else:
-            targets = np.linspace(0, float(total), n_chunks + 1)
-        edges = np.searchsorted(csum, targets, side="left")
-        edges[0], edges[-1] = 0, n
-        edges = np.maximum.accumulate(edges)
+        # Greedy remaining-work targets.  Equal-spaced global targets
+        # collapse behind a hub pivot: once one pivot swallows several
+        # fair shares, every later target is already exceeded and the
+        # whole tail lands in one straggler chunk.  Aiming each cut at
+        # ⌈remaining work / remaining chunks⌉ re-spreads the tail instead.
+        edges = np.zeros(n_chunks + 1, dtype=np.int64)
+        edges[-1] = n
+        prev = 0
+        for k in range(1, n_chunks):
+            remaining_chunks = n_chunks - k + 1
+            if exact:
+                done = int(csum[prev])
+                remaining = int(total) - done
+                target = done + -(-remaining // remaining_chunks)
+            else:
+                done = float(csum[prev])
+                target = done + (float(total) - done) / remaining_chunks
+            cut = int(np.searchsorted(csum, target, side="left"))
+            prev = max(prev, min(cut, n))
+            edges[k] = prev
     out = []
     for lo, hi in zip(edges[:-1], edges[1:]):
         if hi > lo:
             out.append((int(lo), int(hi)))
     return out
+
+
+def wedge_shards(
+    work: np.ndarray,
+    n_chunks: int,
+    budget: int = DEFAULT_WEDGE_SHARD_BUDGET,
+) -> list[tuple[int, int]]:
+    """Cut the pivot space into contiguous shards of roughly equal wedge
+    work, each additionally capped at ``budget`` wedge expansions.
+
+    First pass is :func:`balanced_ranges` over the exact per-pivot wedge
+    work (``pivot_work_estimate`` prefix sums); any shard whose wedge set
+    would exceed the cache-resident budget is re-tiled with
+    :func:`repro.core.blocked.work_bounded_panels`, so a hub pivot never
+    drags a multi-megabyte owner/endpoint expansion into one worker.  The
+    shards tile ``range(len(work))`` exactly, in order.
+    """
+    from repro.core.blocked import work_bounded_panels
+
+    work = np.asarray(work)
+    shards: list[tuple[int, int]] = []
+    for lo, hi in balanced_ranges(work, n_chunks):
+        chunk = work[lo:hi]
+        if int(chunk.sum(dtype=np.int64)) <= budget:
+            shards.append((lo, hi))
+            continue
+        shards.extend(
+            (lo + p_lo, lo + p_hi)
+            for p_lo, p_hi in work_bounded_panels(chunk, budget)
+        )
+    return shards
 
 
 def count_range(
@@ -154,6 +202,16 @@ def count_range(
             total += _butterflies_at_pivot_scratch(
                 pivot_major, complementary, pivot, reference, scratch
             )
+    elif strategy == "wedge":
+        # one fused sort-free panel reduction over the whole shard's wedge
+        # set — no per-pivot Python loop at all
+        from repro.core.blocked import panel_butterflies
+
+        return int(
+            panel_butterflies(
+                pivot_major, complementary, lo, hi, reference, scratch=scratch
+            )
+        )
     else:  # spmv
         if entry_major_ids is None:
             entry_major_ids = expand_indptr(pivot_major.indptr)
@@ -261,7 +319,10 @@ def count_butterflies_parallel(
     strategy:
         ``"adjacency"`` (default), ``"scratch"`` or ``"spmv"`` — same
         meanings as the sequential entry points, so speedups are
-        apples-to-apples.
+        apples-to-apples — or ``"wedge"``: shards of equal *wedge* work
+        (capped at :data:`DEFAULT_WEDGE_SHARD_BUDGET` wedges each) reduced
+        with the fused sort-free panel kernel instead of a per-pivot
+        Python loop.
 
     Returns
     -------
@@ -273,10 +334,10 @@ def count_butterflies_parallel(
             f"unknown executor {executor!r}; expected 'shared', 'process', "
             "'thread' or 'serial'"
         )
-    if strategy not in ("adjacency", "scratch", "spmv"):
+    if strategy not in ("adjacency", "scratch", "spmv", "wedge"):
         raise ValueError(
-            f"unknown strategy {strategy!r}; expected 'adjacency', 'scratch' "
-            "or 'spmv'"
+            f"unknown strategy {strategy!r}; expected 'adjacency', 'scratch', "
+            "'spmv' or 'wedge'"
         )
     if n_workers is None:
         n_workers = min(os.cpu_count() or 1, 6)
@@ -336,7 +397,10 @@ def _count_parallel_body(
         side_e = Side(side)
     pivot_major, complementary = _matrices_for_side(graph, side_e)
     work = parallel_work_model(pivot_major, complementary, strategy, reference)
-    ranges = balanced_ranges(work, n_workers * chunks_per_worker)
+    if strategy == "wedge":
+        ranges = wedge_shards(work, n_workers * chunks_per_worker)
+    else:
+        ranges = balanced_ranges(work, n_workers * chunks_per_worker)
     if obs._enabled:
         obs.inc("parallel.ranges", len(ranges))
     if not ranges:

@@ -1,6 +1,12 @@
 """Butterfly peeling: k-tip, k-wing, and the full decompositions."""
 
-from repro.core.peeling.buckets import tip_numbers_bucket, wing_numbers_bucket
+from repro.core.peeling.buckets import (
+    tip_decrement_batch,
+    tip_numbers_bucket,
+    tip_numbers_bucket_parallel,
+    wing_numbers_bucket,
+    wing_numbers_bucket_parallel,
+)
 from repro.core.peeling.decompose import tip_numbers, wing_numbers
 from repro.core.peeling.linear_algebra import (
     k_tip_linear_algebra,
@@ -17,8 +23,11 @@ __all__ = [
     "WingResult",
     "k_wing",
     "k_wing_linear_algebra",
+    "tip_decrement_batch",
     "tip_numbers",
     "tip_numbers_bucket",
+    "tip_numbers_bucket_parallel",
     "wing_numbers",
     "wing_numbers_bucket",
+    "wing_numbers_bucket_parallel",
 ]

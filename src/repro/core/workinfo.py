@@ -46,6 +46,7 @@ __all__ = [
     "resolve_invariant",
     "pivot_work_estimate",
     "spmv_scan_lengths",
+    "wedge_work_prefix",
     "WorkProfile",
     "work_profile",
     "work_table",
@@ -84,6 +85,23 @@ def pivot_work_estimate(pivot_major, complementary) -> np.ndarray:
     comp_deg = np.diff(complementary.indptr)
     per_entry = comp_deg[pivot_major.indices]
     return segment_sums(per_entry, pivot_major.indptr)
+
+
+def wedge_work_prefix(pivot_major, complementary) -> np.ndarray:
+    """Exact int64 prefix sums of the per-pivot wedge work.
+
+    ``out[p]`` is the number of wedge expansions performed by pivots
+    ``[0, p)`` — ``out[0] == 0`` and ``out[-1]`` is the graph's total
+    wedge count for this orientation.  Cutting this array at equally
+    spaced values yields contiguous pivot shards of equal *wedge* work,
+    which is what the wedge-partitioned executor
+    (:func:`repro.core.parallel.wedge_shards`) balances on.  Accumulated
+    in exact int64: nnz-scale wedge totals exceed 2⁵³ long before 2⁶³.
+    """
+    per_pivot = pivot_work_estimate(pivot_major, complementary)
+    out = np.zeros(len(per_pivot) + 1, dtype=np.int64)
+    np.cumsum(per_pivot.astype(np.int64, copy=False), out=out[1:])
+    return out
 
 
 def spmv_scan_lengths(pivot_major, reference: Reference) -> np.ndarray:
@@ -127,20 +145,21 @@ def work_profile(
     """Compute the exact work profile of one family member on ``graph``.
 
     ``strategy`` is ``"spmv"`` (reference-partition scans), or
-    ``"adjacency"`` / ``"scratch"`` (wedge expansions — the two share one
-    work model; they differ only in the reduction's constant factor).
+    ``"adjacency"`` / ``"scratch"`` / ``"wedge"`` (wedge expansions — the
+    three share one work model; they differ only in the reduction's
+    constant factor and batching).
     """
     inv: Invariant = resolve_invariant(invariant)
     pivot_major, complementary = matrices_for_side(graph, inv.side)
     n = pivot_major.major_dim
     if strategy == "spmv":
         per_pivot = spmv_scan_lengths(pivot_major, inv.reference)
-    elif strategy in ("adjacency", "scratch"):
+    elif strategy in ("adjacency", "scratch", "wedge"):
         per_pivot = pivot_work_estimate(pivot_major, complementary)
     else:
         raise ValueError(
             f"unknown strategy {strategy!r}; expected 'adjacency', "
-            "'scratch' or 'spmv'"
+            "'scratch', 'spmv' or 'wedge'"
         )
     return WorkProfile(
         invariant=inv.number,

@@ -18,12 +18,15 @@ coefficients on small synthetic graphs, and JSON persistence under
 
 Coefficients
 ------------
-``ns_per_op.{adjacency,scratch,spmv,blocked}``
+``ns_per_op.{adjacency,scratch,spmv,blocked,wedge}``
     Nanoseconds per modeled element operation of each strategy's kernel.
 ``ns_per_pivot.{adjacency,scratch,spmv}``
     Per-iteration interpreter overhead of the unblocked loop.
 ``ns_per_panel``
     Per-iteration overhead of a blocked panel (gather + reduction setup).
+``ns_per_shard``
+    Per-shard overhead of the wedge-partitioned path (shard dispatch +
+    panel reduction setup).
 ``parallel_dispatch_ns``
     Flat per-call overhead of a warm shared-memory dispatch.
 ``parallel_efficiency``
@@ -61,6 +64,7 @@ DEFAULT_COEFFICIENTS: dict = {
         "scratch": 7.0,
         "spmv": 2.5,
         "blocked": 3.5,
+        "wedge": 4.0,
     },
     "ns_per_pivot": {
         "adjacency": 9000.0,
@@ -68,6 +72,7 @@ DEFAULT_COEFFICIENTS: dict = {
         "spmv": 7000.0,
     },
     "ns_per_panel": 60000.0,
+    "ns_per_shard": 40000.0,
     "parallel_dispatch_ns": 2.5e6,
     "parallel_efficiency": 0.7,
 }
@@ -103,6 +108,10 @@ class CalibrationTable:
     @property
     def ns_per_panel(self) -> float:
         return float(self.coefficients["ns_per_panel"])
+
+    @property
+    def ns_per_shard(self) -> float:
+        return float(self.coefficients["ns_per_shard"])
 
     @property
     def parallel_dispatch_ns(self) -> float:
@@ -187,7 +196,7 @@ def calibrate(
     ``ns_per_pivot``.  Solving the 2×2 system per strategy is exact in
     the model; ``repeats`` best-of timing keeps scheduler noise out.
     """
-    import numpy as np  # noqa: F401  (keeps import cost off the fast path)
+    import numpy as np  # deferred: keeps import cost off the fast path
 
     from repro.core.blocked import count_butterflies_blocked
     from repro.core.family import count_butterflies_unblocked
@@ -244,6 +253,47 @@ def calibrate(
         b = 0.0
     coeffs["ns_per_op"]["blocked"] = max(a * 1e9, 0.05)
     coeffs["ns_per_panel"] = max(b * 1e9, 500.0)
+
+    # wedge: time the bare shard walk (the exact kernel loop the pool
+    # workers run — per-call entry overhead is modeled separately as
+    # parallel_dispatch_ns).  The ops-dominant heavy graph pins
+    # ns_per_op.wedge; the light graph, whose shards are nearly empty,
+    # pins ns_per_shard.
+    from repro.core.blocked import panel_butterflies
+    from repro.core.parallel import wedge_shards
+    from repro.core.workinfo import (
+        matrices_for_side,
+        pivot_work_estimate,
+        resolve_invariant,
+    )
+
+    inv2 = resolve_invariant(2)
+    timings = []
+    for g in (heavy, light):
+        pm, comp = matrices_for_side(g, inv2.side)
+        # n_workers=1 × chunks_per_worker=4: the serial-path shard count
+        shards = wedge_shards(pivot_work_estimate(pm, comp), 4)
+        scratch = np.zeros(pm.major_dim, dtype=np.int64)
+
+        def walk(pm=pm, comp=comp, shards=shards, scratch=scratch):
+            total = 0
+            for lo, hi in shards:
+                total += panel_butterflies(
+                    pm, comp, lo, hi, inv2.reference, scratch=scratch
+                )
+            return total
+
+        timings.append((len(shards), _best_of(walk, repeats)))
+    (shards_h, t_h), (shards_l, t_l) = timings
+    det = wp_h.total_ops * shards_l - wp_l.total_ops * shards_h
+    if det:
+        a = (t_h * shards_l - t_l * shards_h) / det
+        b = (wp_h.total_ops * t_l - wp_l.total_ops * t_h) / det
+    else:
+        a = t_h / max(wp_h.total_ops, 1)
+        b = 0.0
+    coeffs["ns_per_op"]["wedge"] = max(a * 1e9, 0.05)
+    coeffs["ns_per_shard"] = max(b * 1e9, 500.0)
 
     table = CalibrationTable(coefficients=coeffs, calibrated=True)
     if persist:

@@ -87,7 +87,13 @@ def _dispatch_count(the_plan: Plan, graph: BipartiteGraph) -> int:
             block_size=the_plan.block_size or 64,
             method=the_plan.method,
         )
-    if the_plan.workers > 1 or the_plan.executor != "serial":
+    if (
+        the_plan.strategy == "wedge"
+        or the_plan.workers > 1
+        or the_plan.executor != "serial"
+    ):
+        # the wedge shard walk lives behind the parallel entry point even
+        # at workers=1 (the unblocked loop has no such strategy)
         from repro.core.parallel import count_butterflies_parallel
 
         return count_butterflies_parallel(

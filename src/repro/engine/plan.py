@@ -28,8 +28,16 @@ WORKLOADS: tuple[str, ...] = ("count", "vertex-counts", "tip", "wing")
 
 #: Counting strategies a plan may select.  The first three are the
 #: unblocked family strategies; ``"blocked"`` is the panel derivation
-#: (its reduction method rides in :attr:`Plan.method`).
-COUNT_STRATEGIES: tuple[str, ...] = ("adjacency", "scratch", "spmv", "blocked")
+#: (its reduction method rides in :attr:`Plan.method`); ``"wedge"`` is the
+#: wedge-partitioned path — contiguous pivot shards of equal wedge work
+#: reduced with the fused panel kernel, usually paired with a pool.
+COUNT_STRATEGIES: tuple[str, ...] = (
+    "adjacency",
+    "scratch",
+    "spmv",
+    "blocked",
+    "wedge",
+)
 
 #: Executors a plan may select (same vocabulary as
 #: :func:`repro.core.parallel.count_butterflies_parallel`).

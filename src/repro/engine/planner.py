@@ -230,6 +230,43 @@ def _count_candidates(
         inv = work.invariant
         side = "right" if inv.storage == "csc" else "left"
         for strat in strategies:
+            if strat == "wedge":
+                from repro.core.parallel import DEFAULT_WEDGE_SHARD_BUDGET
+
+                shards = max(
+                    1,
+                    -(-work.adjacency_ops // DEFAULT_WEDGE_SHARD_BUDGET),
+                )
+                serial_est = (
+                    work.adjacency_ops * cal.ns_per_op("wedge")
+                    + shards * cal.ns_per_shard
+                ) * 1e-9
+                if emit_serial and strategy == "wedge":
+                    # auto mode skips the serial wedge row (it shadows the
+                    # blocked panel kernel); a pinned wedge strategy still
+                    # plans on single-core machines
+                    out.append(Plan(
+                        workload="count", invariant=number,
+                        storage=inv.storage, strategy="wedge",
+                        executor="serial", workers=1, side=side,
+                        modeled_ops=work.adjacency_ops,
+                        est_seconds=serial_est,
+                        reason="wedge-partitioned fused panel reduction, "
+                               f"~{shards} cache-resident shard(s) run "
+                               "serially",
+                    ))
+                if emit_parallel:
+                    est = _cost_parallel(serial_est, pool_workers, cal)
+                    out.append(Plan(
+                        workload="count", invariant=number,
+                        storage=inv.storage, strategy="wedge",
+                        executor=pool_kind, workers=pool_workers, side=side,
+                        modeled_ops=work.adjacency_ops, est_seconds=est,
+                        reason=f"~{shards} equal-wedge-work shard(s) "
+                               f"(≤2^18 wedges each) on the {pool_kind} "
+                               "pool, fused panel reduction per shard",
+                    ))
+                continue
             if strat == "blocked":
                 if not emit_serial:  # the panel kernel is serial-only
                     continue

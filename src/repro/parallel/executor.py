@@ -105,6 +105,9 @@ def _strategy_state(entry, pivot_major, strategy: str, side_value):
                 expand_indptr(pivot_major.indptr),
                 np.zeros(pivot_major.minor_dim, dtype=bool),
             )
+        elif strategy == "wedge":
+            # endpoint-space accumulator for the fused panel reduction
+            state = (np.zeros(pivot_major.major_dim, dtype=np.int64), None)
         else:
             state = (None, None)
         cache[key] = state
@@ -161,6 +164,69 @@ def _shm_count_range(args) -> tuple:
                 Reference(reference_value), strategy, extra0, extra1,
             )
     return value, _collect_end(collect)
+
+
+def _shm_wedge_shard(args) -> tuple:
+    """Pool task: fused panel reduction over the wedge shard ``[lo, hi)``.
+
+    The whole shard's wedge set is expanded and reduced with the sort-free
+    ``panel_choose2_sum`` kernel — no per-pivot Python loop.  Shards are
+    cut by :func:`repro.core.parallel.wedge_shards` so the expansion stays
+    under the cache-resident wedge budget.
+    """
+    from repro.core.blocked import panel_butterflies
+
+    meta, side_value, reference_value, lo, hi, collect = args
+    _collect_begin(collect)
+    with obs.span("worker.wedge_shard", lo=lo, hi=hi):
+        entry = _attached(meta)
+        _, csr, csc, _ = entry
+        if side_value == Side.COLUMNS.value:
+            pivot_major, complementary = csc, csr
+        else:
+            pivot_major, complementary = csr, csc
+        scratch, _ = _strategy_state(entry, pivot_major, "wedge", side_value)
+        value = int(
+            panel_butterflies(
+                pivot_major, complementary, lo, hi,
+                Reference(reference_value), scratch=scratch,
+            )
+        )
+    return value, _collect_end(collect)
+
+
+def _shm_tip_decrements(args) -> tuple:
+    """Pool task: batched butterfly-support decrements for removing the
+    tip-bucket vertices ``ids`` (static original-graph multiplicities).
+
+    Returns ``(affected_vertices, lost_counts, delta)`` compressed to the
+    nonzero rows — the owner scatters the partials into its dense counts.
+    """
+    from repro.core.peeling.buckets import tip_decrement_batch
+
+    meta, side_value, ids, collect = args
+    _collect_begin(collect)
+    with obs.span("worker.tip_decrements", batch=len(ids)):
+        _, csr, csc, _ = _attached(meta)
+        if side_value == Side.COLUMNS.value:
+            pivot_major, complementary = csc, csr
+        else:
+            pivot_major, complementary = csr, csc
+        affected, lost = tip_decrement_batch(pivot_major, complementary, ids)
+    return affected, lost, _collect_end(collect)
+
+
+def _shm_edge_support_range(args) -> tuple:
+    """Pool task: per-edge butterfly support of the CSR rows ``[lo, hi)``
+    (entry order), for the parallel wing-peeling recount rounds."""
+    from repro.core.local_counts import edge_support_panel
+
+    meta, lo, hi, collect = args
+    _collect_begin(collect)
+    with obs.span("worker.edge_support_range", lo=lo, hi=hi):
+        _, csr, csc, _ = _attached(meta)
+        vals = edge_support_panel(csr, csc, lo, hi)
+    return lo, vals, _collect_end(collect)
 
 
 def _shm_vertex_range(args) -> tuple:
@@ -384,12 +450,13 @@ class ButterflyExecutor:
             balanced_ranges,
             count_range,
             parallel_work_model,
+            wedge_shards,
         )
 
-        if strategy not in ("adjacency", "scratch", "spmv"):
+        if strategy not in ("adjacency", "scratch", "spmv", "wedge"):
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected 'adjacency', "
-                "'scratch' or 'spmv'"
+                "'scratch', 'spmv' or 'wedge'"
             )
         reference = Reference.SUFFIX
         if invariant is not None:
@@ -406,7 +473,10 @@ class ButterflyExecutor:
         pivot_major, complementary = matrices_for_side(graph, side_e)
         work = parallel_work_model(pivot_major, complementary, strategy, reference)
         cpw = self.chunks_per_worker if chunks_per_worker is None else chunks_per_worker
-        ranges = balanced_ranges(work, self.n_workers * cpw)
+        if strategy == "wedge":
+            ranges = wedge_shards(work, self.n_workers * cpw)
+        else:
+            ranges = balanced_ranges(work, self.n_workers * cpw)
         if not ranges:
             return 0
         if self.n_workers == 1:
@@ -416,12 +486,20 @@ class ButterflyExecutor:
             )
         meta = self._publish(graph).meta
         collect = obs.is_enabled()
-        tasks = [
-            (meta, side_e.value, reference.value, strategy, lo, hi, collect)
-            for lo, hi in ranges
-        ]
+        if strategy == "wedge":
+            fn = _shm_wedge_shard
+            tasks = [
+                (meta, side_e.value, reference.value, lo, hi, collect)
+                for lo, hi in ranges
+            ]
+        else:
+            fn = _shm_count_range
+            tasks = [
+                (meta, side_e.value, reference.value, strategy, lo, hi, collect)
+                for lo, hi in ranges
+            ]
         total = 0
-        for value, delta in self._map(_shm_count_range, tasks):
+        for value, delta in self._map(fn, tasks):
             total += value
             if delta:
                 obs.merge_snapshot(delta, parent=self._last_dispatch)
@@ -464,6 +542,98 @@ class ButterflyExecutor:
             if delta:
                 obs.merge_snapshot(delta, parent=self._last_dispatch)
         return out
+
+    def tip_decrements(
+        self,
+        graph: BipartiteGraph,
+        ids: np.ndarray,
+        side: str = "left",
+        work: np.ndarray | None = None,
+        chunks_per_worker: int | None = None,
+    ) -> np.ndarray:
+        """Dense per-vertex butterfly losses from removing the bucket ``ids``.
+
+        The per-round kernel of the parallel tip decomposition
+        (:func:`~repro.core.peeling.tip_numbers_bucket_parallel`): batches
+        of removed vertices are sharded by wedge work and each worker runs
+        :func:`~repro.core.peeling.tip_decrement_batch` on its slice of
+        the *original* graph (multiplicities are static), the owner sums
+        the compressed partials.  ``work`` is the precomputed per-pivot
+        wedge work, so the fixpoint loop does not recompute it per round.
+        """
+        from repro.core.parallel import balanced_ranges, pivot_work_estimate
+        from repro.core.peeling.buckets import tip_decrement_batch
+
+        if side == "left":
+            pivot_major, complementary = graph.csr, graph.csc
+            side_value = Side.ROWS.value
+        elif side == "right":
+            pivot_major, complementary = graph.csc, graph.csr
+            side_value = Side.COLUMNS.value
+        else:
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        out = np.zeros(pivot_major.major_dim, dtype=COUNT_DTYPE)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return out
+        if work is None:
+            work = pivot_work_estimate(pivot_major, complementary)
+        cpw = self.chunks_per_worker if chunks_per_worker is None else chunks_per_worker
+        ranges = balanced_ranges(work[ids], self.n_workers * cpw)
+        if self.n_workers == 1 or len(ranges) <= 1:
+            affected, lost = tip_decrement_batch(pivot_major, complementary, ids)
+            out[affected] += lost
+            return out
+        meta = self._publish(graph).meta
+        collect = obs.is_enabled()
+        tasks = [(meta, side_value, ids[lo:hi], collect) for lo, hi in ranges]
+        for affected, lost, delta in self._map(_shm_tip_decrements, tasks):
+            # `affected` is unique within a shard, so fancy += is exact here
+            out[affected] += lost
+            if delta:
+                obs.merge_snapshot(delta, parent=self._last_dispatch)
+        return out
+
+    def edge_support(
+        self,
+        graph: BipartiteGraph,
+        chunks_per_worker: int | None = None,
+    ) -> np.ndarray:
+        """Per-edge butterfly support in CSR entry order, over the warm pool.
+
+        The per-round kernel of the parallel wing decomposition: CSR row
+        panels balanced by wedge work, each worker reducing its panel with
+        :func:`~repro.core.local_counts.edge_support_panel`; panels map to
+        disjoint entry ranges, so the owner writes each result straight
+        into its slice.  Matches
+        :func:`~repro.core.local_counts.edge_butterfly_support_blocked`
+        element-wise.
+        """
+        from repro.core.local_counts import edge_support_panel
+        from repro.core.parallel import balanced_ranges, pivot_work_estimate
+
+        csr, csc = graph.csr, graph.csc
+        support = np.zeros(csr.nnz, dtype=COUNT_DTYPE)
+        work = pivot_work_estimate(csr, csc)
+        cpw = self.chunks_per_worker if chunks_per_worker is None else chunks_per_worker
+        ranges = balanced_ranges(work, self.n_workers * cpw)
+        if not ranges:
+            return support
+        if self.n_workers == 1:
+            for lo, hi in ranges:
+                vals = edge_support_panel(csr, csc, lo, hi)
+                e_lo = int(csr.indptr[lo])
+                support[e_lo : e_lo + len(vals)] = vals
+            return support
+        meta = self._publish(graph).meta
+        collect = obs.is_enabled()
+        tasks = [(meta, lo, hi, collect) for lo, hi in ranges]
+        for lo, vals, delta in self._map(_shm_edge_support_range, tasks):
+            e_lo = int(csr.indptr[lo])
+            support[e_lo : e_lo + len(vals)] = vals
+            if delta:
+                obs.merge_snapshot(delta, parent=self._last_dispatch)
+        return support
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else (

@@ -161,6 +161,8 @@ def spmv_pattern_transposed(a: CompressedPattern, x: np.ndarray) -> np.ndarray:
 #:                   zero exactly the touched entries.  Sort-free with O(n)
 #:                   transient memory regardless of panel width.
 #: ``"auto"``      — pick ``bincount`` when the key space is cheap enough,
+#:                   ``sort`` for sparse panels whose per-owner segments
+#:                   are too small to amortise the scratch loop, and
 #:                   ``scratch`` otherwise.
 PANEL_REDUCTIONS: tuple[str, ...] = ("auto", "sort", "bincount", "scratch")
 
@@ -184,6 +186,13 @@ def _resolve_panel_method(
     # wedge list is at least commensurate with the key space it spreads over.
     if keyspace <= keyspace_cap and keyspace <= max(4 * n_items, 1 << 16):
         return "bincount"
+    # scratch loops once per owner segment in the interpreter (~µs each);
+    # on sparse panels — many owners, a handful of wedges apiece — the
+    # vectorised sort reduction wins despite its O(W log W) term.  The
+    # crossover sits around 64 wedges per owner (measured; either side of
+    # it the loser degrades gently).
+    if n_items < 64 * n_pivots:
+        return "sort"
     return "scratch"
 
 

@@ -134,6 +134,33 @@ class TestPlanExecuteCorrectness:
             assert p.executor == "serial" and p.workers == 1
             assert p.invariant in (2, 6)
 
+    def test_pinned_wedge_plans_and_executes(self, corpus):
+        """A pinned wedge strategy plans on any machine (the serial shard
+        walk is always a candidate) and computes the spec count."""
+        for name, g in corpus[:5]:
+            expected = butterflies_spec_bform(g)
+            p = engine.plan(
+                g, "count", strategy="wedge", executor="serial",
+                calibration=DEFAULTS,
+            )
+            assert p.strategy == "wedge" and p.executor == "serial", name
+            assert p.execute(g) == expected, name
+
+    def test_wedge_candidates_scored_against_the_pool_grid(self):
+        """With a pool pinned, wedge rows join the candidate table for
+        both auto invariants and execute to the same count."""
+        g = power_law_bipartite(60, 80, 400, seed=12)
+        expected = butterflies_spec_bform(g)
+        p = engine.plan(g, "count", workers=2, calibration=DEFAULTS)
+        wedge_rows = [c for c in p.candidates if c.strategy == "wedge"]
+        assert {c.invariant for c in wedge_rows} == {2, 6}
+        for cand in wedge_rows:
+            assert cand.workers == 2 and cand.executor == "shared"
+            assert cand.execute(g) == expected, cand.label
+        from repro.parallel import shutdown_default_executors
+
+        shutdown_default_executors()
+
 
 # ----------------------------------------------------------------------
 # 2. cost-model monotonicity on nested edge-prefix graphs
@@ -145,7 +172,7 @@ class TestCostModelMonotonicity:
         for m in (50, 150, 300, 500):
             yield BipartiteGraph(edges[:m], n_left=40, n_right=50)
 
-    @pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv"])
+    @pytest.mark.parametrize("strategy", ["adjacency", "scratch", "spmv", "wedge"])
     def test_modeled_ops_and_cost_monotone_in_nnz(self, strategy):
         """Adding edges never lowers modeled work or estimated cost for a
         fixed decision (the planner's cost model is monotone in nnz)."""
@@ -347,9 +374,10 @@ class TestCalibration:
         path = str(tmp_path / "measured.json")
         table = calibrate(path=path, repeats=1, persist=True)
         assert table.calibrated and table.source == path
-        for strategy in ("adjacency", "scratch", "spmv", "blocked"):
+        for strategy in ("adjacency", "scratch", "spmv", "blocked", "wedge"):
             assert table.ns_per_op(strategy) > 0
         assert table.ns_per_panel > 0
+        assert table.ns_per_shard > 0
         # persisted file loads back as the same coefficients
         again = load_calibration(path)
         assert again.coefficients == table.coefficients

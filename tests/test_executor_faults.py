@@ -206,6 +206,96 @@ def test_clean_state_after_fault_suite(graph, expected):
 
 
 # ----------------------------------------------------------------------
+# wedge-shard dispatch under worker death
+# ----------------------------------------------------------------------
+def _kill_once_then(real, flag_path):
+    """Wrapper for a shm task: first call that sees the flag dies like a
+    crash; every other call runs the real task.  The dunder rewrites make
+    the fork pool pickle the wrapper *by reference* as the patched module
+    global, so forked workers resolve it to this wrapper too."""
+
+    def wrapper(args):
+        try:
+            os.unlink(flag_path)
+        except FileNotFoundError:
+            return real(args)
+        os._exit(1)
+
+    wrapper.__module__ = "repro.parallel.executor"
+    wrapper.__qualname__ = "_shm_wedge_shard"
+    wrapper.__name__ = "_shm_wedge_shard"
+    return wrapper
+
+
+def test_wedge_shard_worker_killed_heals_once(
+    tmp_path, monkeypatch, graph, expected
+):
+    import repro.parallel.executor as executor_mod
+
+    shutdown_default_executors()  # force a fresh (post-patch) fork
+    flag = tmp_path / "die-wedge"
+    monkeypatch.setattr(
+        executor_mod,
+        "_shm_wedge_shard",
+        _kill_once_then(executor_mod._shm_wedge_shard, str(flag)),
+    )
+    with ButterflyExecutor(n_workers=2) as ex:
+        assert ex.count(graph, strategy="wedge") == expected  # no flag yet
+        assert (ex.pool_starts, ex.pool_healed) == (1, 0)
+
+        flag.touch()
+        with obs.capture() as metrics:
+            got = ex.count(graph, strategy="wedge")
+
+        assert got == expected
+        assert not flag.exists()
+        assert (ex.pool_starts, ex.pool_healed) == (2, 1)
+        assert metrics.value("executor.pool_healed") == 1
+
+        # the healed pool keeps serving wedge dispatches
+        assert ex.count(graph, strategy="wedge") == expected
+        assert ex.pool_starts == 2  # no further rebuilds
+
+
+def test_wedge_shard_kill_marks_dispatch_span_aborted(
+    tmp_path, monkeypatch, graph, expected
+):
+    """A wedge-shard SIGKILL leaves the dispatch span ``aborted`` and the
+    healed retry's worker spans re-parent under a fresh ``executor.map``."""
+    import repro.parallel.executor as executor_mod
+
+    shutdown_default_executors()
+    flag = tmp_path / "die-wedge-traced"
+    monkeypatch.setattr(
+        executor_mod,
+        "_shm_wedge_shard",
+        _kill_once_then(executor_mod._shm_wedge_shard, str(flag)),
+    )
+    with ButterflyExecutor(n_workers=2) as ex:
+        ex.count(graph, strategy="wedge")  # warm pool + publish
+        flag.touch()
+        with obs.capture():
+            assert ex.count(graph, strategy="wedge") == expected
+            records = obs.trace_records()
+
+    maps = [r for r in records if r["name"] == "executor.map"]
+    assert len(maps) == 2, [r["name"] for r in records]
+    killed, healed = maps
+    assert killed["status"] == "aborted"
+    assert killed["attrs"].get("aborted") is True
+    assert healed["status"] == "ok"
+    assert healed["attrs"].get("healed") is True
+    # shipped worker spans (from either dispatch) adopt a map span as
+    # parent — shard bounds ride along as span attributes
+    map_ids = {m["span_id"] for m in maps}
+    workers = [r for r in records if r["name"] == "worker.wedge_shard"]
+    assert workers
+    for r in workers:
+        assert r["parent_id"] in map_ids
+        assert r["attrs"]["hi"] > r["attrs"]["lo"]
+
+
+# ----------------------------------------------------------------------
 # trace propagation under faults (PR 3)
 # ----------------------------------------------------------------------
 def test_worker_kill_marks_dispatch_span_aborted(tmp_path, graph):

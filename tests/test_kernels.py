@@ -213,8 +213,11 @@ def test_panel_auto_dispatch_respects_keyspace_cap():
 
     # tiny key space, plenty of items -> dense histogram
     assert _resolve_panel_method("auto", 4, 100, 5000, 1 << 22) == "bincount"
-    # key space beyond the cap -> scratch discipline
-    assert _resolve_panel_method("auto", 10**4, 10**4, 5000, 1 << 22) == "scratch"
+    # key space beyond the cap, wedges too sparse to amortise the
+    # per-owner scratch loop -> vectorised sort reduction
+    assert _resolve_panel_method("auto", 10**4, 10**4, 5000, 1 << 22) == "sort"
+    # key space beyond the cap, dense owner segments -> scratch discipline
+    assert _resolve_panel_method("auto", 10**4, 10**4, 10**7, 1 << 22) == "scratch"
     # explicit choices pass through untouched
     for m in ("sort", "bincount", "scratch"):
         assert _resolve_panel_method(m, 4, 100, 50, 1 << 22) == m

@@ -232,6 +232,82 @@ def test_balanced_ranges_float_work_still_supported():
     assert covered == list(range(4))
 
 
+def test_balanced_ranges_hub_does_not_strand_the_tail():
+    """Regression: equal-spaced global targets collapse behind a hub.
+
+    With one pivot carrying nearly all the work, every global target
+    ``k·total/n`` lands inside the hub's cumulative mass, so the old cut
+    rule produced [hub] + [everything else] no matter how many chunks
+    were requested.  The greedy remaining-work rule must keep splitting
+    the tail: 4 chunks over [100, 1, 1, 1] are 4 singletons, int64-exact.
+    """
+    work = np.array([100, 1, 1, 1], dtype=np.int64)
+    ranges = balanced_ranges(work, 4)
+    assert ranges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    # hub in the middle: the prefix units fold into the hub's chunk and
+    # the tail stragglers still get one chunk each
+    work = np.array([1, 1, 100, 1, 1, 1], dtype=np.int64)
+    assert balanced_ranges(work, 4) == [(0, 3), (3, 4), (4, 5), (5, 6)]
+
+
+def test_balanced_ranges_hub_exact_beyond_float53():
+    """The hub regression and int64 exactness together: a 2^55 hub with
+    unit-work stragglers must still yield per-straggler chunks."""
+    big = np.int64(1) << 55
+    work = np.array([big, 1, 1, 1], dtype=np.int64)
+    ranges = balanced_ranges(work, 4)
+    assert ranges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+# ------------------------------------------------------------- wedge shards
+def test_wedge_shards_tile_and_respect_budget():
+    from repro.core import wedge_shards
+
+    rng = np.random.default_rng(3)
+    work = rng.integers(0, 1000, size=500).astype(np.int64)
+    budget = 2000
+    shards = wedge_shards(work, 8, budget=budget)
+    covered = [i for lo, hi in shards for i in range(lo, hi)]
+    assert covered == list(range(500))
+    for lo, hi in shards:
+        total = int(work[lo:hi].sum())
+        # only an irreducible single pivot may exceed the budget
+        assert total <= budget or hi - lo == 1
+
+
+def test_wedge_shards_oversized_pivot_is_singleton():
+    from repro.core import wedge_shards
+
+    work = np.array([10, 5000, 10, 10], dtype=np.int64)
+    shards = wedge_shards(work, 2, budget=100)
+    assert (1, 2) in shards
+    covered = [i for lo, hi in shards for i in range(lo, hi)]
+    assert covered == list(range(4))
+
+
+def test_wedge_shards_default_budget_matches_constant():
+    from repro.core import DEFAULT_WEDGE_SHARD_BUDGET, wedge_shards
+
+    assert DEFAULT_WEDGE_SHARD_BUDGET == 1 << 18
+    # under-budget work: shard layout degenerates to balanced_ranges
+    work = np.full(64, 10, dtype=np.int64)
+    assert wedge_shards(work, 4) == balanced_ranges(work, 4)
+
+
+def test_count_wedge_strategy_matches_family(medium_graph):
+    expected = count_butterflies(medium_graph)
+    for executor in ("serial", "thread", "process"):
+        for invariant in (2, 6):
+            got = count_butterflies_parallel(
+                medium_graph,
+                n_workers=1 if executor == "serial" else 2,
+                executor=executor,
+                invariant=invariant,
+                strategy="wedge",
+            )
+            assert got == expected, (executor, invariant)
+
+
 # ------------------------------------------------------ spmv work model fix
 def test_spmv_scan_lengths_triangular(medium_graph):
     """The spmv per-pivot cost is the reference-partition scan length."""
