@@ -40,7 +40,10 @@ from repro.core import (
     ALL_INVARIANTS,
     INVARIANTS,
     DynamicButterflyCounter,
+    HybridStreamCounter,
     Invariant,
+    StreamingButterflyCounter,
+    StreamingEstimator,
     iter_butterflies,
     Reference,
     Side,
@@ -100,6 +103,9 @@ __all__ = [
     "tip_numbers",
     "wing_numbers",
     "DynamicButterflyCounter",
+    "StreamingButterflyCounter",
+    "StreamingEstimator",
+    "HybridStreamCounter",
     "iter_butterflies",
     # graphs
     "BipartiteGraph",

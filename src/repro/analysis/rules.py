@@ -44,6 +44,7 @@ DEFAULT_KNOWN_PACKAGES: frozenset[str] = frozenset(
         "repro.bench",
         "repro.core",
         "repro.core.peeling",
+        "repro.core.stream",
         "repro.engine",
         "repro.flame",
         "repro.graphs",
@@ -65,6 +66,7 @@ DEPRECATION_SHIM_MODULES: frozenset[str] = frozenset(
         "repro.core.peeling.tip",
         "repro.core.peeling.wing",
         "repro.core.parallel",
+        "repro.core.dynamic",
         "repro.bench.workmodel",
     }
 )

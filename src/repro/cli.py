@@ -11,6 +11,7 @@
     repro-butterfly algorithms [--executor E] [--run GRAPH]  # the registry
     repro-butterfly generate   OUT --n-left M --n-right N --edges E
     repro-butterfly stats      --from-metrics metrics.jsonl  # render metrics
+    repro-butterfly stream     GRAPH SCRIPT [--estimate] [--snapshot-out P]
 
 GRAPH is either a path to a KONECT-format edge list (optionally ``.gz``;
 see :mod:`repro.graphs.io`) or ``dataset:<name>`` for one of the synthetic
@@ -65,6 +66,16 @@ __all__ = ["main", "build_parser"]
 def _load(spec: str) -> BipartiteGraph:
     if spec.startswith("dataset:"):
         return load_dataset(spec.split(":", 1)[1])
+    if spec.startswith("empty:"):
+        # empty:MxN — a fresh edge-free graph for stream replays
+        dims = spec.split(":", 1)[1]
+        try:
+            m, n = (int(part) for part in dims.lower().split("x"))
+        except ValueError:
+            raise SystemExit(
+                f"bad empty-graph spec {spec!r}; expected empty:MxN"
+            ) from None
+        return BipartiteGraph.empty(m, n)
     return load_konect(spec)
 
 
@@ -299,6 +310,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable merged snapshot")
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay an edge-script against the streaming counter",
+    )
+    p_stream.add_argument(
+        "graph",
+        help="starting graph: KONECT path, dataset:<name>, or empty:MxN",
+    )
+    p_stream.add_argument(
+        "script",
+        help="edge-script file: '+ u v' / '- u v' lines, 'flush' ends a "
+        "batch (see docs/streaming.md)",
+    )
+    p_stream.add_argument(
+        "--strategy", choices=("auto", "incremental", "recount"),
+        default="auto",
+        help="per-batch maintenance strategy (auto: the engine's cost "
+        "model chooses between incremental and recount per batch)",
+    )
+    p_stream.add_argument(
+        "--estimate", action="store_true",
+        help="also run the FLEET-style reservoir sketch over the inserts "
+        "and print its estimate with a confidence interval",
+    )
+    p_stream.add_argument(
+        "--reservoir", type=int, default=2048,
+        help="sketch reservoir size across all groups (default 2048)",
+    )
+    p_stream.add_argument(
+        "--groups", type=int, default=8,
+        help="independent sketch groups (default 8)",
+    )
+    p_stream.add_argument(
+        "--seed", type=int, default=0, help="sketch RNG seed (default 0)"
+    )
+    p_stream.add_argument(
+        "--snapshot-in", default=None, metavar="PATH",
+        help="restore counter state from a snapshot file before replaying",
+    )
+    p_stream.add_argument(
+        "--snapshot-out", default=None, metavar="PATH",
+        help="write the final counter state as a snapshot file",
+    )
+    p_stream.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     p_an = sub.add_parser(
         "analyze",
@@ -640,6 +698,87 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    """``repro-butterfly stream`` — replay an edge script (docs/streaming.md)."""
+    from repro import engine
+    from repro.core.stream import (
+        SnapshotError,
+        StreamingButterflyCounter,
+        StreamingEstimator,
+    )
+    from repro.core.stream.script import iter_batches, load_script
+
+    g = _load(args.graph)
+    counter = StreamingButterflyCounter(g)
+    if args.snapshot_in:
+        try:
+            with open(args.snapshot_in, "rb") as fh:
+                counter.restore(fh.read())
+        except (OSError, SnapshotError) as exc:
+            print(f"error: cannot restore snapshot: {exc}", file=sys.stderr)
+            return 1
+    estimator = (
+        StreamingEstimator(
+            reservoir_size=args.reservoir, groups=args.groups, seed=args.seed
+        )
+        if args.estimate
+        else None
+    )
+    ops = load_script(args.script)
+    batches = []
+    for index, (insert, delete) in enumerate(iter_batches(ops)):
+        strategy = args.strategy
+        if strategy == "auto":
+            chosen = engine.plan(
+                counter.to_graph(), "stream_apply", batch=(insert, delete)
+            )
+            strategy = chosen.strategy
+        stats = counter.apply(insert=insert, delete=delete, strategy=strategy)
+        if estimator is not None and insert:
+            estimator.add_edges(insert)
+        row = dict(stats, batch=index, strategy=strategy)
+        batches.append(row)
+        if not args.json:
+            print(
+                f"batch {index}: +{stats['inserted']} -{stats['deleted']} "
+                f"created {stats['created']} destroyed {stats['destroyed']} "
+                f"({strategy})"
+            )
+    if args.snapshot_out:
+        with open(args.snapshot_out, "wb") as fh:
+            fh.write(counter.snapshot())
+    estimate = None
+    if estimator is not None:
+        value, ci_low, ci_high = estimator.estimate()
+        estimate = {"value": value, "ci_low": ci_low, "ci_high": ci_high}
+    if args.json:
+        import json
+
+        payload = {
+            "graph": args.graph,
+            "script": args.script,
+            "batches": batches,
+            "n_edges": counter.n_edges,
+            "butterflies": counter.count,
+        }
+        if estimate is not None:
+            payload["estimate"] = estimate
+        if args.snapshot_out:
+            payload["snapshot_out"] = args.snapshot_out
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"edges       : {counter.n_edges}")
+    print(f"butterflies : {counter.count}")
+    if estimate is not None:
+        print(
+            f"sketch      : {estimate['value']:.1f} "
+            f"[{estimate['ci_low']:.1f}, {estimate['ci_high']:.1f}]"
+        )
+    if args.snapshot_out:
+        print(f"snapshot    : {args.snapshot_out}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     """``repro-butterfly analyze`` — the domain lint gate (docs/analysis.md)."""
     import json as _json
@@ -689,6 +828,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "algorithms": _cmd_algorithms,
         "stats": _cmd_stats,
+        "stream": _cmd_stream,
         "analyze": _cmd_analyze,
     }[args.command]
     metrics_out = getattr(args, "metrics_out", None)

@@ -1,185 +1,24 @@
-"""Incremental (dynamic) butterfly counting.
+"""Deprecated location of :class:`DynamicButterflyCounter`.
 
-Streaming and evolving bipartite graphs need the count maintained under
-edge insertions and deletions without recounting — the dynamic setting the
-butterfly-counting literature (e.g. the sliding-window variants of the
-paper's ref [10]) motivates.  The delta has a closed form in the paper's
-own vocabulary: inserting edge (u, v) creates exactly
-
-    Δ = Σ_{w ∈ N(v)\\{u}} ( |N(u) ∩ N(w)| − [v ∈ N(w)] )
-
-new butterflies — for every other endpoint w of v, each *pre-existing*
-wedge between u and w (not through v) closes one new butterfly — and this
-is precisely the edge support (eq. 23) of (u, v) evaluated in the graph
-*after* insertion.  Deletion is symmetric: the count drops by the edge's
-support *before* removal.
-
-:class:`DynamicButterflyCounter` maintains the count, per-vertex counts on
-both sides, and adjacency under arbitrary interleaved insertions and
-deletions, in O(wedges at the touched edge) per update.  Tests cross-check
-every state against full recounts.
+The per-edge dynamic counter moved to :mod:`repro.core.stream` when the
+streaming tier landed (ROADMAP item 2); this shim re-exports it so old
+imports keep working.  Import from ``repro.core.stream`` (or
+``repro.core``) instead — batch workloads should use
+:class:`repro.core.stream.StreamingButterflyCounter`.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.graphs.bipartite import BipartiteGraph
+from repro.core.stream.dynamic import DynamicButterflyCounter
 
 __all__ = ["DynamicButterflyCounter"]
 
-
-class DynamicButterflyCounter:
-    """Butterfly count maintained under edge insertions and deletions.
-
-    Parameters
-    ----------
-    graph:
-        Initial graph (may be empty: ``BipartiteGraph.empty(m, n)``).
-        Vertex sets are fixed at construction; edges are dynamic.
-
-    Attributes
-    ----------
-    count:
-        The current Ξ_G (always exact).
-    """
-
-    def __init__(self, graph: BipartiteGraph) -> None:
-        self.n_left = graph.n_left
-        self.n_right = graph.n_right
-        self._adj_left: list[set[int]] = [
-            set(map(int, graph.neighbors_left(u))) for u in range(graph.n_left)
-        ]
-        self._adj_right: list[set[int]] = [
-            set(map(int, graph.neighbors_right(v))) for v in range(graph.n_right)
-        ]
-        from repro.core.family import count_butterflies
-
-        self.count: int = count_butterflies(graph) if graph.n_edges else 0
-        from repro.core.local_counts import vertex_butterfly_counts
-
-        if graph.n_edges:
-            self._per_left = vertex_butterfly_counts(graph, "left").tolist()
-            self._per_right = vertex_butterfly_counts(graph, "right").tolist()
-        else:
-            self._per_left = [0] * graph.n_left
-            self._per_right = [0] * graph.n_right
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-    @property
-    def n_edges(self) -> int:
-        """Current number of edges."""
-        return sum(len(s) for s in self._adj_left)
-
-    def has_edge(self, u: int, v: int) -> bool:
-        """True when edge (u, v) is present."""
-        self._check_ids(u, v)
-        return v in self._adj_left[u]
-
-    def vertex_count(self, vertex: int, side: str = "left") -> int:
-        """Current number of butterflies containing ``vertex``."""
-        if side == "left":
-            return self._per_left[vertex]
-        if side == "right":
-            return self._per_right[vertex]
-        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
-
-    def to_graph(self) -> BipartiteGraph:
-        """Materialise the current edge set as an immutable graph."""
-        edges = [
-            (u, v) for u in range(self.n_left) for v in sorted(self._adj_left[u])
-        ]
-        return BipartiteGraph(edges, n_left=self.n_left, n_right=self.n_right)
-
-    # ------------------------------------------------------------------
-    # updates
-    # ------------------------------------------------------------------
-    def _check_ids(self, u: int, v: int) -> None:
-        if not 0 <= u < self.n_left:
-            raise IndexError(f"left vertex {u} out of range [0, {self.n_left})")
-        if not 0 <= v < self.n_right:
-            raise IndexError(f"right vertex {v} out of range [0, {self.n_right})")
-
-    def _delta_butterflies(self, u: int, v: int):
-        """Butterflies containing edge (u, v) in the *current* adjacency.
-
-        Yields (w, y) pairs: the opposite corner vertices, with the edge
-        (u, v) assumed present conceptually (its own membership in the
-        adjacency does not matter since w ≠ u and y ≠ v are demanded).
-        """
-        nu = self._adj_left[u]
-        for w in self._adj_right[v]:
-            if w == u:
-                continue
-            for y in nu & self._adj_left[w]:
-                if y != v:
-                    yield w, y
-
-    def add_edge(self, u: int, v: int) -> int:
-        """Insert edge (u, v); returns the number of butterflies created.
-
-        Raises ``ValueError`` if the edge already exists (the graph is
-        simple).
-        """
-        self._check_ids(u, v)
-        if v in self._adj_left[u]:
-            raise ValueError(f"edge ({u}, {v}) already present")
-        created = 0
-        for w, y in self._delta_butterflies(u, v):
-            created += 1
-            self._per_left[w] += 1
-            self._per_right[y] += 1
-        self._per_left[u] += created
-        self._per_right[v] += created
-        self.count += created
-        self._adj_left[u].add(v)
-        self._adj_right[v].add(u)
-        return created
-
-    def remove_edge(self, u: int, v: int) -> int:
-        """Delete edge (u, v); returns the number of butterflies destroyed.
-
-        Raises ``ValueError`` if the edge is absent.
-        """
-        self._check_ids(u, v)
-        if v not in self._adj_left[u]:
-            raise ValueError(f"edge ({u}, {v}) not present")
-        self._adj_left[u].discard(v)
-        self._adj_right[v].discard(u)
-        destroyed = 0
-        for w, y in self._delta_butterflies(u, v):
-            destroyed += 1
-            self._per_left[w] -= 1
-            self._per_right[y] -= 1
-        self._per_left[u] -= destroyed
-        self._per_right[v] -= destroyed
-        self.count -= destroyed
-        return destroyed
-
-    def add_edges(self, edges) -> int:
-        """Insert a batch of edges (ignoring ones already present);
-        returns total butterflies created."""
-        total = 0
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if not self.has_edge(u, v):
-                total += self.add_edge(u, v)
-        return total
-
-    def remove_edges(self, edges) -> int:
-        """Delete a batch of edges (ignoring absent ones); returns total
-        butterflies destroyed."""
-        total = 0
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if self.has_edge(u, v):
-                total += self.remove_edge(u, v)
-        return total
-
-    def __repr__(self) -> str:
-        return (
-            f"DynamicButterflyCounter(|V1|={self.n_left}, |V2|={self.n_right}, "
-            f"|E|={self.n_edges}, butterflies={self.count})"
-        )
+warnings.warn(
+    "repro.core.dynamic is deprecated; import DynamicButterflyCounter from "
+    "repro.core.stream (and prefer StreamingButterflyCounter for batched "
+    "updates)",
+    DeprecationWarning,
+    stacklevel=2,
+)

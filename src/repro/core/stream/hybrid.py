@@ -1,0 +1,125 @@
+"""Exactness-window hybrid: exact hot window + FLEET sketch for the tail.
+
+The streaming tier's two engines have complementary regimes:
+:class:`~repro.core.stream.counter.StreamingButterflyCounter` is exact
+but holds every live edge; :class:`~repro.core.stream.estimator.
+StreamingEstimator` is O(reservoir) but approximate.
+:class:`HybridStreamCounter` composes them: the most recent ``window``
+arrivals are maintained exactly (batched, incremental), while the whole
+unbounded stream feeds the sketch.  Queries about "now" (the hot window)
+are exact; queries about "ever" (the full stream) come with a confidence
+interval.
+
+Window semantics
+----------------
+The window is an arrival-count sliding window over *insertions*.  When
+an arrival falls off the window's back edge, the corresponding edge is
+deleted from the exact counter — unless a newer arrival of the same edge
+is still inside the window (arrival multiplicity is tracked, so
+re-inserting a hot edge refreshes it rather than double-materialising
+it).  Butterflies all of whose edges live in the window are counted
+exactly; butterflies spanning window and tail exist only in the
+sketch's estimate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.core.stream.counter import StreamingButterflyCounter
+from repro.core.stream.estimator import (
+    DEFAULT_VARIANCE_SCALE,
+    StreamingEstimator,
+)
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["HybridStreamCounter"]
+
+
+class HybridStreamCounter:
+    """Exact recent-window counts plus a whole-stream sketch estimate.
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Fixed vertex-set sizes of the exact window counter.
+    window:
+        Number of most recent edge arrivals maintained exactly.
+    reservoir_size, groups, seed, confidence, variance_scale:
+        Forwarded to :class:`StreamingEstimator` for the tail sketch.
+    """
+
+    def __init__(
+        self,
+        n_left: int,
+        n_right: int,
+        window: int = 4096,
+        *,
+        reservoir_size: int = 2048,
+        groups: int = 8,
+        seed=0,
+        confidence: float = 0.95,
+        variance_scale: float = DEFAULT_VARIANCE_SCALE,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1 arrival")
+        self.window = window
+        self.exact = StreamingButterflyCounter(
+            BipartiteGraph.empty(n_left, n_right)
+        )
+        self.sketch = StreamingEstimator(
+            reservoir_size=reservoir_size,
+            groups=groups,
+            seed=seed,
+            confidence=confidence,
+            variance_scale=variance_scale,
+        )
+        self._arrivals: deque[tuple[int, int]] = deque()
+        self._live: Counter = Counter()
+
+    @property
+    def n_seen(self) -> int:
+        """Total edge arrivals ingested (window + tail)."""
+        return self.sketch.n_seen
+
+    def push(self, edges) -> dict:
+        """Ingest a batch of edge arrivals (insert-only, stream order).
+
+        Feeds the sketch edge-by-edge, then advances the exact window by
+        one batched apply: evicted back-of-window arrivals whose edge has
+        no newer in-window duplicate are deleted, new arrivals inserted.
+        Returns the exact counter's batch stats.
+        """
+        arrivals = [(int(u), int(v)) for u, v in edges]
+        self.sketch.add_edges(arrivals)
+
+        for edge in arrivals:
+            self._arrivals.append(edge)
+            self._live[edge] += 1
+        evict: list[tuple[int, int]] = []
+        while len(self._arrivals) > self.window:
+            old = self._arrivals.popleft()
+            self._live[old] -= 1
+            if self._live[old] == 0:
+                del self._live[old]
+                evict.append(old)
+        # a batch longer than the window can evict its own head — only
+        # arrivals still live after eviction are materialised
+        insert = [e for e in arrivals if e in self._live]
+        return self.exact.apply(insert=insert, delete=evict)
+
+    def window_count(self) -> int:
+        """Exact butterfly count of the current hot window."""
+        return self.exact.count
+
+    def estimate(self) -> tuple[float, float, float]:
+        """Whole-stream ``(value, ci_low, ci_high)`` from the sketch."""
+        return self.sketch.estimate()
+
+    def __repr__(self) -> str:
+        value, lo, hi = self.estimate()
+        return (
+            f"HybridStreamCounter(window={self.window}, "
+            f"seen={self.n_seen}, window_count={self.exact.count}, "
+            f"stream_estimate={value:.1f} [{lo:.1f}, {hi:.1f}])"
+        )

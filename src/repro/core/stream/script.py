@@ -1,0 +1,145 @@
+"""Edge-script format for replaying and pinning streaming workloads.
+
+A script is a line-oriented text format shared by the CLI ``stream``
+subcommand, the randomized conformance harness, and the committed
+regression corpus under ``tests/data/stream_scripts/``::
+
+    # comments and blank lines are ignored
+    + 0 3        # insert edge (0, 3)
+    - 0 3        # delete edge (0, 3)
+    flush        # batch boundary: apply everything accumulated so far
+
+Ops between ``flush`` lines form one batch; a trailing partial segment is
+a final batch.  Within a batch the counter's documented semantics hold:
+deletes apply before inserts (an edge listed in both ends up present),
+duplicates collapse, absent deletes and present inserts are skipped.
+
+The representation is deliberately trivial — a list of ``("+"|"-", u,
+v)`` tuples plus ``("flush",)`` markers — so hypothesis can shrink failed
+scripts to tiny readable reproducers, which are then committed verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Op",
+    "parse_script",
+    "format_script",
+    "load_script",
+    "save_script",
+    "iter_batches",
+    "replay",
+]
+
+#: One script operation: ``("+", u, v)``, ``("-", u, v)`` or ``("flush",)``.
+Op = tuple
+
+
+def parse_script(text: str) -> list[Op]:
+    """Parse script text into an op list; raises ``ValueError`` on bad lines."""
+    ops: list[Op] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "flush":
+            if len(parts) != 1:
+                raise ValueError(f"line {lineno}: 'flush' takes no arguments")
+            ops.append(("flush",))
+            continue
+        if parts[0] not in ("+", "-") or len(parts) != 3:
+            raise ValueError(
+                f"line {lineno}: expected '+ u v', '- u v' or 'flush', "
+                f"got {raw!r}"
+            )
+        try:
+            u, v = int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: vertex ids must be integers, got {raw!r}"
+            ) from exc
+        if u < 0 or v < 0:
+            raise ValueError(f"line {lineno}: vertex ids must be non-negative")
+        ops.append((parts[0], u, v))
+    return ops
+
+
+def format_script(ops: Iterable[Op]) -> str:
+    """Render an op list back to canonical script text."""
+    lines = []
+    for op in ops:
+        if op[0] == "flush":
+            lines.append("flush")
+        elif op[0] in ("+", "-"):
+            lines.append(f"{op[0]} {op[1]} {op[2]}")
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_script(path) -> list[Op]:
+    """Read and parse a script file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_script(fh.read())
+
+
+def save_script(path, ops: Iterable[Op]) -> None:
+    """Write an op list to a script file in canonical form."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(format_script(ops))
+
+
+def iter_batches(
+    ops: Sequence[Op],
+) -> Iterator[tuple[list[tuple[int, int]], list[tuple[int, int]]]]:
+    """Yield ``(insert, delete)`` edge lists, one per flush-delimited batch.
+
+    Explicit ``flush`` markers always yield a batch (possibly empty); a
+    trailing segment without a closing ``flush`` is yielded only when it
+    contains at least one edit.
+    """
+    insert: list[tuple[int, int]] = []
+    delete: list[tuple[int, int]] = []
+    pending = False
+    for op in ops:
+        if op[0] == "flush":
+            yield insert, delete
+            insert, delete, pending = [], [], False
+        elif op[0] == "+":
+            insert.append((op[1], op[2]))
+            pending = True
+        elif op[0] == "-":
+            delete.append((op[1], op[2]))
+            pending = True
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    if pending:
+        yield insert, delete
+
+
+def replay(counter, ops: Sequence[Op], *, strategy: str = "incremental") -> dict:
+    """Apply a whole script to a counter; returns aggregate stats.
+
+    ``counter`` is anything exposing the
+    :meth:`~repro.core.stream.counter.StreamingButterflyCounter.apply`
+    signature.  Returns totals over all batches: ``batches``, ``created``,
+    ``destroyed``, ``inserted``, ``deleted``, ``intra_batch_closures``.
+    """
+    totals = {
+        "batches": 0,
+        "created": 0,
+        "destroyed": 0,
+        "inserted": 0,
+        "deleted": 0,
+        "intra_batch_closures": 0,
+    }
+    for insert, delete in iter_batches(ops):
+        stats = counter.apply(insert=insert, delete=delete, strategy=strategy)
+        totals["batches"] += 1
+        for key in ("created", "destroyed", "inserted", "deleted",
+                    "intra_batch_closures"):
+            totals[key] += stats[key]
+    return totals

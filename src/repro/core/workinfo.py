@@ -46,6 +46,7 @@ __all__ = [
     "resolve_invariant",
     "pivot_work_estimate",
     "spmv_scan_lengths",
+    "touched_wedge_work",
     "wedge_work_prefix",
     "WorkProfile",
     "work_profile",
@@ -102,6 +103,32 @@ def wedge_work_prefix(pivot_major, complementary) -> np.ndarray:
     out = np.zeros(len(per_pivot) + 1, dtype=np.int64)
     np.cumsum(per_pivot.astype(np.int64, copy=False), out=out[1:])
     return out
+
+
+def touched_wedge_work(
+    graph: BipartiteGraph, rows: np.ndarray, cols: np.ndarray
+) -> int:
+    """Exact wedge work touched by a batch of edge endpoints.
+
+    For a batch of edge updates ``(rows[i], cols[i])`` the incremental
+    maintenance path (:class:`repro.core.stream.StreamingButterflyCounter`)
+    enumerates, per changed edge, every wedge through its two endpoints:
+    ``deg(u) + deg(v)`` continuations.  The sum over the batch is the
+    dominant term of the batched-apply cost, which is what the planner's
+    ``stream_apply`` workload weighs against a from-scratch recount.
+    Duplicate endpoints count once per appearance — that is exactly how
+    often the kernel gathers them.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    deg_left = np.diff(graph.csr.indptr)
+    deg_right = np.diff(graph.csc.indptr)
+    work = 0
+    if rows.size:
+        work += int(deg_left[rows].sum(dtype=COUNT_DTYPE))
+    if cols.size:
+        work += int(deg_right[cols].sum(dtype=COUNT_DTYPE))
+    return work
 
 
 def spmv_scan_lengths(pivot_major, reference: Reference) -> np.ndarray:

@@ -43,7 +43,13 @@ from repro.engine.calibration import (
     save_calibration,
 )
 from repro.engine.execute import execute
-from repro.engine.plan import COUNT_STRATEGIES, EXECUTORS, WORKLOADS, Plan
+from repro.engine.plan import (
+    COUNT_STRATEGIES,
+    EXECUTORS,
+    STREAM_STRATEGIES,
+    WORKLOADS,
+    Plan,
+)
 from repro.engine.planner import (
     DEFAULT_MAX_WORKERS,
     DEFAULT_PLAN_BLOCK_BUDGET,
@@ -57,6 +63,7 @@ __all__ = [
     "Plan",
     "WORKLOADS",
     "COUNT_STRATEGIES",
+    "STREAM_STRATEGIES",
     "EXECUTORS",
     "plan",
     "candidate_plans",

@@ -27,6 +27,9 @@ Coefficients
 ``ns_per_shard``
     Per-shard overhead of the wedge-partitioned path (shard dispatch +
     panel reduction setup).
+``ns_per_op.stream`` / ``stream_batch_ns``
+    Per-touched-wedge cost and flat per-batch overhead of the streaming
+    batched-apply path (:class:`repro.core.stream.StreamingButterflyCounter`).
 ``parallel_dispatch_ns``
     Flat per-call overhead of a warm shared-memory dispatch.
 ``parallel_efficiency``
@@ -65,6 +68,7 @@ DEFAULT_COEFFICIENTS: dict = {
         "spmv": 2.5,
         "blocked": 3.5,
         "wedge": 4.0,
+        "stream": 12.0,
     },
     "ns_per_pivot": {
         "adjacency": 9000.0,
@@ -73,6 +77,7 @@ DEFAULT_COEFFICIENTS: dict = {
     },
     "ns_per_panel": 60000.0,
     "ns_per_shard": 40000.0,
+    "stream_batch_ns": 1.5e6,
     "parallel_dispatch_ns": 2.5e6,
     "parallel_efficiency": 0.7,
 }
@@ -112,6 +117,11 @@ class CalibrationTable:
     @property
     def ns_per_shard(self) -> float:
         return float(self.coefficients["ns_per_shard"])
+
+    @property
+    def stream_batch_ns(self) -> float:
+        """Flat per-batch overhead of the streaming apply path."""
+        return float(self.coefficients["stream_batch_ns"])
 
     @property
     def parallel_dispatch_ns(self) -> float:
@@ -294,6 +304,41 @@ def calibrate(
         b = 0.0
     coeffs["ns_per_op"]["wedge"] = max(a * 1e9, 0.05)
     coeffs["ns_per_shard"] = max(b * 1e9, 500.0)
+
+    # stream: two batch sizes on the wedge-heavy graph separate the
+    # per-touched-wedge cost from the flat per-batch overhead
+    from repro.core.stream import StreamingButterflyCounter
+    from repro.core.workinfo import touched_wedge_work
+
+    rng = np.random.default_rng(15)
+    measurements = []
+    for size in (16, 512):
+        rows = rng.integers(0, heavy.n_left, size=size)
+        cols = rng.integers(0, heavy.n_right, size=size)
+        edges = np.stack([rows, cols], axis=1)
+        ops = (
+            touched_wedge_work(heavy, rows, cols)
+            + heavy.n_edges + size
+        )
+
+        def batch_apply(edges=edges):
+            counter = StreamingButterflyCounter(heavy)
+            counter.apply(insert=edges)
+
+        # subtract the constructor cost so only apply() is timed
+        t_ctor = _best_of(lambda: StreamingButterflyCounter(heavy), repeats)
+        t_all = _best_of(batch_apply, repeats)
+        measurements.append((ops, max(t_all - t_ctor, 0.0)))
+    (ops_s, t_s), (ops_b, t_b) = measurements
+    det = ops_b - ops_s
+    if det:
+        a = (t_b - t_s) / det
+        b = t_s - ops_s * a
+    else:
+        a = t_b / max(ops_b, 1)
+        b = 0.0
+    coeffs["ns_per_op"]["stream"] = max(a * 1e9, 0.05)
+    coeffs["stream_batch_ns"] = max(b * 1e9, 10000.0)
 
     table = CalibrationTable(coefficients=coeffs, calibrated=True)
     if persist:

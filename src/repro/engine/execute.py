@@ -22,15 +22,28 @@ from repro.graphs.bipartite import BipartiteGraph
 __all__ = ["execute"]
 
 
-def execute(the_plan: Plan, graph: BipartiteGraph, *, k: int | None = None):
+def execute(
+    the_plan: Plan,
+    graph: BipartiteGraph,
+    *,
+    k: int | None = None,
+    counter=None,
+    insert=(),
+    delete=(),
+):
     """Run ``the_plan`` on ``graph``; returns the workload's natural result.
 
     - ``"count"`` → int (Ξ_G)
     - ``"vertex-counts"`` → int64 array over ``plan.side``
     - ``"tip"`` → :class:`~repro.core.peeling.tip.TipResult`
     - ``"wing"`` → :class:`~repro.core.peeling.wing.WingResult`
+    - ``"stream_apply"`` → the apply stats dict (the mutated counter is
+      the ``counter`` argument, or a fresh one over ``graph`` returned
+      under the stats key ``"counter"``)
 
-    ``k`` overrides the plan's peeling threshold for tip/wing workloads.
+    ``k`` overrides the plan's peeling threshold for tip/wing workloads;
+    ``counter`` / ``insert`` / ``delete`` feed the ``stream_apply``
+    workload (``counter=None`` builds one from ``graph``).
     """
     if not isinstance(the_plan, Plan):
         raise TypeError(f"expected a Plan, got {the_plan!r}")
@@ -49,7 +62,10 @@ def execute(the_plan: Plan, graph: BipartiteGraph, *, k: int | None = None):
             # (the span itself records engine.execute.calls/.seconds)
             obs.inc(f"engine.execute.workload.{the_plan.workload}")
         t0 = time.perf_counter()
-        result = _dispatch(the_plan, graph, k)
+        if the_plan.workload == "stream_apply":
+            result = _dispatch_stream(the_plan, graph, counter, insert, delete)
+        else:
+            result = _dispatch(the_plan, graph, k)
         actual = time.perf_counter() - t0
         if obs._enabled:
             sp.set_attributes(actual_ms=round(actual * 1e3, 4))
@@ -75,6 +91,21 @@ def _dispatch(the_plan: Plan, graph: BipartiteGraph, k: int | None):
     from repro.core.peeling.wing import k_wing
 
     return k_wing(graph, k, plan=the_plan)
+
+
+def _dispatch_stream(
+    the_plan: Plan, graph: BipartiteGraph, counter, insert, delete
+) -> dict:
+    from repro.core.stream import StreamingButterflyCounter
+
+    if counter is None:
+        counter = StreamingButterflyCounter(graph)
+    stats = counter.apply(
+        insert=insert, delete=delete, strategy=the_plan.strategy
+    )
+    stats = dict(stats)
+    stats["counter"] = counter
+    return stats
 
 
 def _dispatch_count(the_plan: Plan, graph: BipartiteGraph) -> int:

@@ -19,12 +19,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["Plan", "WORKLOADS", "COUNT_STRATEGIES", "EXECUTORS"]
+__all__ = [
+    "Plan",
+    "WORKLOADS",
+    "COUNT_STRATEGIES",
+    "STREAM_STRATEGIES",
+    "EXECUTORS",
+]
 
 #: Workloads the engine can plan: a global butterfly count, a per-vertex
-#: participation vector, and the two peeling fixpoints (whose unit of
-#: per-round work is a per-vertex / per-edge count).
-WORKLOADS: tuple[str, ...] = ("count", "vertex-counts", "tip", "wing")
+#: participation vector, the two peeling fixpoints (whose unit of
+#: per-round work is a per-vertex / per-edge count), and a streaming
+#: batch application (incremental maintenance vs from-scratch recount).
+WORKLOADS: tuple[str, ...] = (
+    "count", "vertex-counts", "tip", "wing", "stream_apply",
+)
+
+#: Strategies the ``stream_apply`` workload may select — mirrors
+#: :data:`repro.core.stream.STREAM_APPLY_STRATEGIES`.
+STREAM_STRATEGIES: tuple[str, ...] = ("incremental", "recount")
 
 #: Counting strategies a plan may select.  The first three are the
 #: unblocked family strategies; ``"blocked"`` is the panel derivation

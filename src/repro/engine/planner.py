@@ -37,7 +37,13 @@ from repro.core.workinfo import (
     spmv_scan_lengths,
 )
 from repro.engine.calibration import CalibrationTable, load_calibration
-from repro.engine.plan import COUNT_STRATEGIES, EXECUTORS, WORKLOADS, Plan
+from repro.engine.plan import (
+    COUNT_STRATEGIES,
+    EXECUTORS,
+    STREAM_STRATEGIES,
+    WORKLOADS,
+    Plan,
+)
 from repro.graphs.bipartite import BipartiteGraph
 
 __all__ = [
@@ -147,6 +153,7 @@ def candidate_plans(
     block_size: int | None = None,
     side: str | None = None,
     k: int | None = None,
+    batch: tuple | None = None,
     family_only: bool = False,
     calibration: CalibrationTable | None = None,
 ) -> list[Plan]:
@@ -155,15 +162,14 @@ def candidate_plans(
     Any non-None keyword pins the corresponding plan field; the planner
     fills the rest.  ``family_only=True`` restricts counting candidates
     to the sequential unblocked family (the contract of
-    :func:`repro.core.count_butterflies`).
+    :func:`repro.core.count_butterflies`).  The ``stream_apply`` workload
+    takes the pending edit batch via ``batch=(insert, delete)`` (edge
+    lists / (k, 2) arrays) and scores batched incremental maintenance
+    against a from-scratch recount.
     """
     if workload not in WORKLOADS:
         raise ValueError(
             f"unknown workload {workload!r}; expected one of {WORKLOADS}"
-        )
-    if strategy is not None and strategy not in COUNT_STRATEGIES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; expected one of {COUNT_STRATEGIES}"
         )
     if executor is not None and executor not in EXECUTORS:
         raise ValueError(
@@ -171,6 +177,17 @@ def candidate_plans(
         )
     cal = calibration or load_calibration()
     budget = budget if budget is not None else DEFAULT_PLAN_BLOCK_BUDGET
+    if workload == "stream_apply":
+        if strategy is not None and strategy not in STREAM_STRATEGIES:
+            raise ValueError(
+                f"unknown stream strategy {strategy!r}; expected one of "
+                f"{STREAM_STRATEGIES}"
+            )
+        return _stream_candidates(graph, cal, budget, strategy, batch)
+    if strategy is not None and strategy not in COUNT_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {COUNT_STRATEGIES}"
+        )
     if workload == "count":
         return _count_candidates(
             graph, cal, budget, invariant, strategy, executor, workers,
@@ -361,6 +378,77 @@ def _wing_candidates(graph, cal, budget, block_size, k) -> list[Plan]:
     )]
 
 
+def _batch_endpoints(batch):
+    """(rows, cols) int64 arrays of every edge in a (insert, delete) pair."""
+    import numpy as np
+
+    rows_parts, cols_parts = [], []
+    for part in batch or ():
+        if part is None:
+            continue
+        arr = np.asarray(part if hasattr(part, "shape") else list(part))
+        if arr.size == 0:
+            continue
+        arr = arr.reshape(-1, 2).astype(np.int64, copy=False)
+        rows_parts.append(arr[:, 0])
+        cols_parts.append(arr[:, 1])
+    if not rows_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+
+def _stream_candidates(graph, cal, budget, strategy, batch) -> list[Plan]:
+    """Score batched incremental maintenance vs a from-scratch recount.
+
+    The incremental path's dominant term is the *touched* wedge work —
+    Σ deg(u) + deg(v) over the batch edges (the delta-wedge enumeration)
+    — plus an O(nnz) sorted-merge/rebuild of both compressed views.  The
+    recount rebuilds every count: one global sweep plus both per-vertex
+    sweeps, ≈ 3 panel passes over the full wedge set.
+    """
+    from repro.core.workinfo import touched_wedge_work
+
+    rows, cols = _batch_endpoints(batch)
+    touched = touched_wedge_work(graph, rows, cols) if rows.size else 0
+    nnz = int(graph.n_edges)
+    batch_edges = int(rows.size)
+
+    inc_ops = touched + nnz + batch_edges
+    inc_est = (
+        inc_ops * cal.ns_per_op("stream") + cal.stream_batch_ns
+    ) * 1e-9
+
+    work = _SideWork(graph, 2 if graph.n_right <= graph.n_left else 6)
+    b = _auto_block_size(work, budget)
+    panels = -(-work.pivots // max(b, 1)) if work.pivots else 0
+    rec_ops = 3 * work.adjacency_ops
+    rec_est = (
+        rec_ops * cal.ns_per_op("blocked")
+        + 3 * panels * cal.ns_per_panel
+        + cal.stream_batch_ns
+    ) * 1e-9
+
+    out = []
+    if strategy in (None, "incremental"):
+        out.append(Plan(
+            workload="stream_apply", invariant=None, storage="csr",
+            strategy="incremental", executor="serial", workers=1,
+            modeled_ops=inc_ops, est_seconds=inc_est,
+            reason=f"delta-wedge maintenance touches ~{touched:,} wedges "
+                   f"for {batch_edges} edit(s) (+O(nnz) view rebuild)",
+        ))
+    if strategy in (None, "recount"):
+        out.append(Plan(
+            workload="stream_apply", invariant=None, storage="csr",
+            strategy="recount", executor="serial", workers=1,
+            modeled_ops=rec_ops, est_seconds=rec_est,
+            reason="from-scratch recount: global + both per-vertex sweeps "
+                   "over the full wedge set",
+        ))
+    return out
+
+
 # ----------------------------------------------------------------------
 # the front door
 # ----------------------------------------------------------------------
@@ -376,6 +464,7 @@ def plan(
     block_size: int | None = None,
     side: str | None = None,
     k: int | None = None,
+    batch: tuple | None = None,
     family_only: bool = False,
     calibration: CalibrationTable | None = None,
 ) -> Plan:
@@ -384,7 +473,8 @@ def plan(
     Non-None keyword arguments pin the corresponding plan field (the
     planner only decides what the caller left open); ``budget`` bounds
     the transient wedge working set of panel kernels (element count, see
-    :data:`DEFAULT_PLAN_BLOCK_BUDGET`).  Returns the
+    :data:`DEFAULT_PLAN_BLOCK_BUDGET`); ``batch=(insert, delete)`` gives
+    the ``stream_apply`` workload its pending edit batch.  Returns the
     winning :class:`Plan` with the full scored candidate table attached
     (``plan.candidates``) for :func:`explain`.
     """
@@ -393,14 +483,15 @@ def plan(
         cands = candidate_plans(
             graph, workload, budget=budget, invariant=invariant,
             strategy=strategy, executor=executor, workers=workers,
-            block_size=block_size, side=side, k=k,
+            block_size=block_size, side=side, k=k, batch=batch,
             family_only=family_only, calibration=cal,
         )
         if not cands:  # fully over-constrained (e.g. executor="serial",
             # workers=4): fall back to an unconstrained table
             cands = candidate_plans(
                 graph, workload, budget=budget, invariant=invariant,
-                k=k, side=side, family_only=family_only, calibration=cal,
+                k=k, side=side, batch=batch, family_only=family_only,
+                calibration=cal,
             )
         best = min(cands, key=lambda c: c.est_seconds)
         chosen = best.with_(

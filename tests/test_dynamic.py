@@ -142,3 +142,41 @@ def test_matches_family_on_larger_graph():
     dc.add_edges(map(tuple, g.edges()))
     assert dc.count == count_butterflies(g)
     assert dc.to_graph() == g
+
+
+def test_n_edges_is_constant_time_and_consistent():
+    # n_edges is a maintained counter (O(1)), not a per-row sum — it must
+    # stay consistent through every mutation path, including skipped ones
+    dc = DynamicButterflyCounter(power_law_bipartite(20, 25, 120, seed=6))
+    start = dc.n_edges
+    dc.add_edge(0, 0) if not dc.has_edge(0, 0) else None
+    expected = start + (0 if dc.n_edges == start else 1)
+    assert dc.n_edges == expected
+    dc.add_edges([(1, 1), (1, 1), (2, 2)])  # intra-batch duplicate
+    dc.remove_edges([(1, 1), (19, 24), (19, 24)])  # absent / duplicate
+    _assert_state_matches(dc)
+
+
+def test_add_edges_duplicate_in_batch_reports_correct_created():
+    # the duplicate (0, 0) must contribute exactly once to the butterfly
+    # delta: 4 distinct edges form one butterfly
+    dc = DynamicButterflyCounter(BipartiteGraph.empty(3, 3))
+    created = dc.add_edges([(0, 0), (0, 1), (0, 0), (1, 0), (1, 1)])
+    assert created == 1
+    assert dc.count == 1
+    assert dc.n_edges == 4
+    _assert_state_matches(dc)
+
+
+def test_moved_module_shim_warns():
+    # repro.core.dynamic is a deprecation shim over repro.core.stream.dynamic
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.core.dynamic", None)
+    with pytest.warns(DeprecationWarning, match="repro.core.stream"):
+        importlib.import_module("repro.core.dynamic")
+    from repro.core.dynamic import DynamicButterflyCounter as shimmed
+    from repro.core.stream.dynamic import DynamicButterflyCounter as canonical
+
+    assert shimmed is canonical

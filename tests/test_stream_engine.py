@@ -1,0 +1,115 @@
+"""Engine integration for the ``stream_apply`` workload.
+
+The planner must score batched incremental maintenance against a
+from-scratch recount using the touched-wedge work model, honour strategy
+pins, and ``execute`` must dispatch onto the streaming counter and hand
+the mutated counter back through the stats dict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.core.stream import StreamingButterflyCounter
+from repro.core.workinfo import touched_wedge_work
+from repro.engine.plan import STREAM_STRATEGIES, WORKLOADS
+from repro.graphs import BipartiteGraph, power_law_bipartite
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_bipartite(200, 250, 1500, seed=31)
+
+
+def _batch(graph, size, seed=9):
+    rng = np.random.default_rng(seed)
+    return [
+        (int(rng.integers(graph.n_left)), int(rng.integers(graph.n_right)))
+        for _ in range(size)
+    ]
+
+
+def test_stream_apply_is_a_workload():
+    assert "stream_apply" in WORKLOADS
+    assert STREAM_STRATEGIES == ("incremental", "recount")
+
+
+def test_candidate_table_scores_both_strategies(graph):
+    cands = engine.candidate_plans(
+        graph, "stream_apply", batch=(_batch(graph, 32), [])
+    )
+    assert sorted(c.strategy for c in cands) == ["incremental", "recount"]
+    assert all(c.workload == "stream_apply" for c in cands)
+    assert all(c.est_ms > 0 and c.modeled_ops > 0 for c in cands)
+    # the table is sorted by estimated cost — the head is the choice
+    assert cands[0].est_ms <= cands[-1].est_ms
+
+
+def test_strategy_pin_filters_candidates(graph):
+    batch = (_batch(graph, 32), [])
+    for strategy in STREAM_STRATEGIES:
+        cands = engine.candidate_plans(
+            graph, "stream_apply", strategy=strategy, batch=batch
+        )
+        assert [c.strategy for c in cands] == [strategy]
+
+
+def test_invalid_stream_strategy_raises(graph):
+    with pytest.raises(ValueError, match="strategy"):
+        engine.plan(graph, "stream_apply", strategy="blocked")
+
+
+def test_small_batch_prefers_incremental(graph):
+    p = engine.plan(graph, "stream_apply", batch=(_batch(graph, 8), []))
+    assert p.strategy == "incremental"
+
+
+def test_touched_wedge_work_drives_the_model(graph):
+    rows = np.asarray([0, 1], dtype=np.int64)
+    cols = np.asarray([0, 1], dtype=np.int64)
+    small = touched_wedge_work(graph, rows, cols)
+    hub = int(np.argmax(np.diff(graph.csr.indptr)))
+    big = touched_wedge_work(
+        graph,
+        np.asarray([hub] * 2, dtype=np.int64),
+        cols,
+    )
+    assert 0 <= small <= big
+
+
+def test_execute_returns_stats_with_counter(graph):
+    batch = _batch(graph, 16)
+    p = engine.plan(graph, "stream_apply", batch=(batch, []))
+    stats = engine.execute(p, graph, insert=batch)
+    counter = stats["counter"]
+    assert isinstance(counter, StreamingButterflyCounter)
+    assert stats["inserted"] + stats["skipped_insert"] == len(set(batch))
+    # the returned counter reflects the applied batch
+    probe = StreamingButterflyCounter(graph)
+    probe.apply(insert=batch)
+    assert counter.count == probe.count
+
+
+def test_execute_reuses_passed_counter(graph):
+    counter = StreamingButterflyCounter(graph)
+    batch = _batch(graph, 16, seed=10)
+    p = engine.plan(graph, "stream_apply", batch=(batch, []))
+    stats = engine.execute(p, graph, counter=counter, insert=batch)
+    assert stats["counter"] is counter
+    assert counter.n_edges >= graph.n_edges
+
+
+def test_explain_renders_stream_plans(graph):
+    p = engine.plan(graph, "stream_apply", batch=(_batch(graph, 32), []))
+    text = engine.explain(p, graph)
+    assert "stream_apply" in text
+    assert "incremental" in text and "recount" in text
+
+
+def test_plan_without_batch_still_works(graph):
+    # no pending batch → the planner scores a nominal batch of zero edges
+    p = engine.plan(graph, "stream_apply")
+    assert p.workload == "stream_apply"
+    assert p.strategy in STREAM_STRATEGIES

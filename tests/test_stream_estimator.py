@@ -1,0 +1,187 @@
+"""Statistical tests for the FLEET-style sketch and the hybrid counter.
+
+Accuracy assertions run on *fixed seeds* so they are deterministic in
+CI: coverage is "≥ 90% of these seeded trials land inside their own CI",
+not a flaky distributional bound, and the 1/√reservoir CI-shrink check
+uses a generous factor-of-two tolerance band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import count_butterflies
+from repro.core.stream import (
+    HybridStreamCounter,
+    StreamingButterflyCounter,
+    StreamingEstimator,
+    calibrate_variance,
+)
+from repro.core.stream.estimator import DEFAULT_VARIANCE_SCALE
+from repro.graphs import BipartiteGraph, power_law_bipartite
+
+
+def _stream(seed: int, m: int = 60, n: int = 80, edges: int = 600):
+    """A shuffled power-law edge stream plus its true butterfly count."""
+    g = power_law_bipartite(m, n, edges, seed=seed)
+    pairs = [(int(u), int(v)) for u, v in g.edges()]
+    rng = np.random.default_rng(seed + 1000)
+    rng.shuffle(pairs)
+    return pairs, count_butterflies(g)
+
+
+# ----------------------------------------------------------------------
+# exact regime and determinism
+# ----------------------------------------------------------------------
+def test_exact_when_reservoir_holds_whole_stream():
+    pairs, truth = _stream(seed=1, edges=300)
+    est = StreamingEstimator(reservoir_size=8 * 400, groups=8, seed=0)
+    est.add_edges(pairs)
+    value, lo, hi = est.estimate()
+    # every group saw every edge with probability 1 → the weighted total
+    # is the exact count and the spread is zero
+    assert value == truth
+    assert lo == hi == truth
+
+
+def test_same_seed_same_estimate():
+    pairs, _ = _stream(seed=2)
+    a = StreamingEstimator(reservoir_size=512, groups=8, seed=42)
+    b = StreamingEstimator(reservoir_size=512, groups=8, seed=42)
+    a.add_edges(pairs)
+    b.add_edges(pairs)
+    assert a.estimate() == b.estimate()
+    c = StreamingEstimator(reservoir_size=512, groups=8, seed=43)
+    c.add_edges(pairs)
+    assert c.estimate() != a.estimate()
+
+
+def test_n_seen_tracks_arrivals():
+    est = StreamingEstimator(reservoir_size=64, groups=2, seed=0)
+    est.add_edges([(0, 0), (0, 1), (1, 0)])
+    assert est.n_seen == 3
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        StreamingEstimator(groups=1)
+    with pytest.raises(ValueError):
+        StreamingEstimator(reservoir_size=8, groups=8)  # 1 edge per group
+    with pytest.raises(IndexError):
+        StreamingEstimator(reservoir_size=64, groups=2).add_edge(-1, 0)
+
+
+# ----------------------------------------------------------------------
+# accuracy: seeded-trial CI coverage
+# ----------------------------------------------------------------------
+def test_ci_coverage_over_seeded_trials():
+    pairs, truth = _stream(seed=3)
+    seeds = range(20)
+    hits = 0
+    for seed in seeds:
+        est = StreamingEstimator(reservoir_size=2048, groups=8, seed=seed)
+        est.add_edges(pairs)
+        _, lo, hi = est.estimate()
+        hits += lo <= truth <= hi
+    # pinned trials: this is deterministic, the bar encodes "the default
+    # variance scale keeps ≥ 90% of these CIs honest"
+    assert hits >= 0.9 * len(seeds)
+
+
+def test_estimates_are_unbiased_ballpark():
+    pairs, truth = _stream(seed=4)
+    values = []
+    for seed in range(12):
+        est = StreamingEstimator(reservoir_size=1024, groups=8, seed=seed)
+        est.add_edges(pairs)
+        values.append(est.estimate()[0])
+    mean = float(np.mean(values))
+    assert truth > 0
+    assert 0.5 * truth <= mean <= 1.5 * truth
+
+
+def test_ci_width_shrinks_like_inverse_sqrt_reservoir():
+    pairs, _ = _stream(seed=5, edges=900)
+
+    def median_width(reservoir_size: int) -> float:
+        widths = []
+        for seed in range(8):
+            est = StreamingEstimator(
+                reservoir_size=reservoir_size, groups=8, seed=seed
+            )
+            est.add_edges(pairs)
+            _, lo, hi = est.estimate()
+            widths.append(hi - lo)
+        return float(np.median(widths))
+
+    small, large = median_width(256), median_width(1024)
+    assert small > 0
+    # 4x the reservoir should halve the width (~1/√M); allow a generous
+    # band [1.0, 8.0] — monotone shrink is the hard requirement, the
+    # rate check is loose because butterflies per group are heavy-tailed
+    ratio = small / max(large, 1e-12)
+    assert 1.0 <= ratio <= 8.0
+
+
+def test_calibrate_variance_returns_usable_scale():
+    pairs, truth = _stream(seed=6, edges=400)
+    scale = calibrate_variance(
+        [pairs], [truth], reservoir_size=512, groups=8, trials=6, seed=0
+    )
+    assert np.isfinite(scale) and scale >= 0.0
+    est = StreamingEstimator(
+        reservoir_size=512, groups=8, seed=0, variance_scale=max(scale, 0.1)
+    )
+    est.add_edges(pairs)
+    value, lo, hi = est.estimate()
+    assert lo <= value <= hi
+
+
+def test_default_variance_scale_is_pinned():
+    # the shipped constant is part of the published behaviour — moving it
+    # should be a deliberate, test-visible change
+    assert DEFAULT_VARIANCE_SCALE == 1.8
+
+
+# ----------------------------------------------------------------------
+# hybrid: exact hot window + sketch tail
+# ----------------------------------------------------------------------
+def test_hybrid_window_is_exact():
+    pairs, _ = _stream(seed=7, edges=500)
+    window = 200
+    h = HybridStreamCounter(60, 80, window=window, reservoir_size=512, seed=0)
+    for start in range(0, len(pairs), 64):
+        h.push(pairs[start:start + 64])
+    assert h.n_seen == len(pairs)
+    # the exact window must match a from-scratch count of the last
+    # `window` distinct live arrivals
+    live = {}
+    for i, e in enumerate(pairs):
+        live[e] = i
+    recent = [e for e, i in live.items() if i >= len(pairs) - window]
+    g = BipartiteGraph(sorted(recent), n_left=60, n_right=80)
+    assert h.window_count() == count_butterflies(g)
+
+
+def test_hybrid_estimate_matches_plain_sketch():
+    pairs, _ = _stream(seed=8, edges=300)
+    h = HybridStreamCounter(60, 80, window=64, reservoir_size=512, seed=5)
+    h.push(pairs)
+    plain = StreamingEstimator(reservoir_size=512, groups=8, seed=5)
+    plain.add_edges(pairs)
+    assert h.estimate() == plain.estimate()
+
+
+def test_hybrid_batch_longer_than_window():
+    pairs, _ = _stream(seed=9, edges=300)
+    h = HybridStreamCounter(60, 80, window=32, reservoir_size=512, seed=0)
+    h.push(pairs)  # single batch, 10x the window
+    assert h.exact.n_edges <= 32
+    exact = StreamingButterflyCounter(BipartiteGraph.empty(60, 80))
+    live = {}
+    for i, e in enumerate(pairs):
+        live[e] = i
+    recent = [e for e, i in live.items() if i >= len(pairs) - 32]
+    exact.apply(insert=recent)
+    assert h.window_count() == exact.count
