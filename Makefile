@@ -7,7 +7,7 @@ PYTHON ?= python
 BASELINE ?= BENCH_baseline.json
 TOLERANCE ?= 0.15
 
-.PHONY: install test test-fast lint bench bench-quick bench-check bench-tables calibrate stats report examples clean all
+.PHONY: install test test-fast lint bench bench-quick bench-check bench-tables calibrate stats profile-report report examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
 
-# Static gates: the stdlib-only project analyzer (rules RPR001-RPR006,
+# Static gates: the stdlib-only project analyzer (rules RPR001-RPR007,
 # see docs/analysis.md) always runs; ruff and mypy run when installed
 # (`pip install -e .[lint]`) and are skipped with a notice otherwise so
 # `make lint` works in the leanest container.
@@ -31,11 +31,17 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Machine-readable seed-vs-shared dispatch overhead (BENCH_parallel.json)
-# plus the observability stream (metrics.jsonl + trace.json) and one
-# appended BENCH_history.jsonl record.  Run with REPRO_OBS=0 to pin the
-# obs no-op path for overhead comparisons.
+# plus the observability stream (metrics.jsonl + trace.json), the
+# profiler's collapsed stacks (profile.collapsed — render with
+# `repro-butterfly profile profile.collapsed`), and one appended
+# BENCH_history.jsonl record.  Run with REPRO_OBS=0 to pin the obs
+# no-op path for overhead comparisons.
 bench-quick:
-	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json --metrics-out metrics.jsonl --trace-out trace.json --history BENCH_history.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel_bench --out BENCH_parallel.json --metrics-out metrics.jsonl --trace-out trace.json --history BENCH_history.jsonl --profile-out profile.collapsed
+
+# Render the bench-quick profiler artifact as a self/total frame table.
+profile-report:
+	PYTHONPATH=src $(PYTHON) -m repro.cli profile profile.collapsed
 
 # Perf-regression gate: compare the current BENCH_parallel.json against
 # $(BASELINE); exits non-zero on a >= $(TOLERANCE) regression.  CI runs

@@ -1,4 +1,4 @@
-"""The project-native rule catalog (RPR001–RPR006).
+"""The project-native rule catalog (RPR001–RPR007).
 
 Each rule is a small AST walker over a shared :class:`ModuleContext`.
 The rules encode *this repo's* correctness conventions — the invariants
@@ -11,6 +11,7 @@ RPR003  observability hygiene (span usage, metric names, disabled-path cost)
 RPR004  engine-plan purity (no plan mutation / inline member selection)
 RPR005  deprecation policy (``stacklevel>=2``, documented shim list)
 RPR006  exception discipline (no bare/broad/swallowed handlers)
+RPR007  engine sink discipline (no ad-hoc ``open()`` writes in repro.engine)
 
 See ``docs/analysis.md`` for the full rationale, the paper references,
 and the list of true positives each rule caught when first run.
@@ -457,13 +458,20 @@ class ObsHygieneRule(Rule):
     *computed* (call, arithmetic, f-string) must sit under an
     ``if obs._enabled:`` guard, because argument evaluation happens even
     when recording is off and the disabled path is benchmarked to cost
-    nothing (<2% on bench-quick).
+    nothing (<2% on bench-quick); (d) the ``profile.`` name layer is
+    reserved for the sampling profiler (:mod:`repro.obs.profile`) —
+    hand-rolled metrics there would collide with sampler-derived series
+    in ``stats`` / Prometheus exposition.
     """
 
     id = "RPR003"
     title = "observability hygiene violation"
 
     HOT_SCOPES = ("repro.sparsela", "repro.core", "repro.parallel", "repro.engine")
+
+    #: Name layers only repro.obs itself may emit under (repro.obs is
+    #: exempt from this rule wholesale, so any sighting is a violation).
+    RESERVED_LAYERS = ("profile.",)
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.in_package("repro.obs", "repro.analysis"):
@@ -561,6 +569,8 @@ class ObsHygieneRule(Rule):
                     f"metric/span name {arg.value!r} violates the "
                     "'layer.subsystem.what' dotted-lowercase convention",
                 )
+            else:
+                yield from self._check_reserved(ctx, arg, arg.value)
         elif isinstance(arg, ast.JoinedStr):
             head = arg.values[0] if arg.values else None
             if not (
@@ -574,9 +584,25 @@ class ObsHygieneRule(Rule):
                     "dynamic metric/span name must start with a static "
                     "'layer.' prefix (dotted-lowercase convention)",
                 )
+            elif isinstance(head, ast.Constant) and isinstance(head.value, str):
+                yield from self._check_reserved(ctx, arg, head.value)
         elif isinstance(arg, ast.IfExp):
             yield from self._check_name(ctx, arg.body)
             yield from self._check_name(ctx, arg.orelse)
+
+    def _check_reserved(
+        self, ctx: ModuleContext, arg: ast.expr, name: str
+    ) -> Iterator[Finding]:
+        for layer in self.RESERVED_LAYERS:
+            if name.startswith(layer):
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"metric/span name {name!r} is under the reserved "
+                    f"{layer!r} layer, which belongs to the sampling "
+                    "profiler (repro.obs.profile); pick a layer owned by "
+                    "this module",
+                )
 
 
 # ----------------------------------------------------------------------
@@ -795,6 +821,71 @@ class ExceptionDisciplineRule(Rule):
         return all(isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in handler.body)
 
 
+# ----------------------------------------------------------------------
+# RPR007 — engine sink discipline
+# ----------------------------------------------------------------------
+
+class EngineSinkDisciplineRule(Rule):
+    """Engine persistence goes through the obs sink API, not ad-hoc I/O.
+
+    The drift ledger (``repro.engine.drift``) writes through
+    :class:`repro.obs.sinks.JsonlSink` so every engine artifact shares
+    one append/flush/format discipline and shows up in the same tooling.
+    A write- or append-mode ``open()`` (or ``.write_text`` /
+    ``.write_bytes``) inside ``repro.engine`` bypasses that contract.
+    ``repro.engine.calibration`` is allow-listed: the calibration table
+    predates the sink API and persists a single JSON document, not an
+    append-only stream.
+    """
+
+    id = "RPR007"
+    title = "ad-hoc persistence in repro.engine"
+
+    SCOPES = ("repro.engine",)
+    ALLOWED_MODULES = frozenset({"repro.engine.calibration"})
+    _WRITE_MODE_CHARS = frozenset("wax+")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(*self.SCOPES):
+            return
+        if ctx.module in self.ALLOWED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                if self._is_write_mode(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "write-mode open() in repro.engine; persist through "
+                        "the obs sink API (repro.obs.sinks, e.g. JsonlSink) "
+                        "like the drift ledger does",
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{func.attr}(...) in repro.engine; persist through "
+                    "the obs sink API (repro.obs.sinks, e.g. JsonlSink) "
+                    "like the drift ledger does",
+                )
+
+    def _is_write_mode(self, call: ast.Call) -> bool:
+        mode = (
+            call.args[1] if len(call.args) > 1 else _keyword(call, "mode")
+        )
+        if mode is None:
+            return False  # default "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return bool(self._WRITE_MODE_CHARS & set(mode.value))
+        return True  # dynamic mode: assume the worst
+
+
 #: Rule registry in catalog order.
 RULES: tuple[Rule, ...] = (
     PrivateImportRule(),
@@ -803,6 +894,7 @@ RULES: tuple[Rule, ...] = (
     EnginePurityRule(),
     DeprecationPolicyRule(),
     ExceptionDisciplineRule(),
+    EngineSinkDisciplineRule(),
 )
 
 ALL_RULE_IDS: tuple[str, ...] = tuple(r.id for r in RULES)

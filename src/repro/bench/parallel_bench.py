@@ -41,11 +41,20 @@ from repro.core import count_butterflies_parallel
 from repro.graphs import gnm_bipartite, power_law_bipartite
 from repro.parallel import ButterflyExecutor
 
-__all__ = ["run_benchmark", "main", "OVERHEAD_FLOOR_SECONDS"]
+__all__ = [
+    "run_benchmark",
+    "main",
+    "OVERHEAD_FLOOR_SECONDS",
+    "KERNEL_SPAN_PREFIXES",
+]
 
 #: Timer-noise floor for overhead estimates (seconds).  Overheads are
 #: clamped here from below so a ratio never divides by jitter.
 OVERHEAD_FLOOR_SECONDS = 5e-4
+
+#: Span-name prefixes counted as "kernel work" when attributing profiler
+#: samples (the CI profile smoke asserts at least one lands here).
+KERNEL_SPAN_PREFIXES = ("family.", "blocked.", "worker.", "peel.")
 
 
 def _best_of(fn, repeats: int):
@@ -336,6 +345,102 @@ def _stream_section(repeats: int) -> dict:
     }
 
 
+def _profiler_section(repeats: int, profile_out: str | None = None) -> dict:
+    """Sampling-profiler overhead plus a real collapsed-stack artifact.
+
+    Times the same unblocked count with the profiler off and on (obs
+    enabled in both arms, so the delta is the sampler alone) and reports
+    ``profiler_overhead = max(t_on/t_off − 1, 0)`` — flattened into
+    ``BENCH_history.jsonl`` where the ``bench --compare`` gate treats it
+    as lower-is-better (the ISSUE bar is ≤5% at the default hz).  The
+    samples gathered in the *on* arm become ``profile.collapsed`` (the
+    CI artifact) and the attribution counts the profile smoke asserts on.
+    """
+    from repro import obs
+    from repro.core import count_butterflies_unblocked
+    from repro.obs import profile as obs_profile
+
+    g = power_law_bipartite(3_000, 4_000, 150_000, seed=7)
+    was_enabled = obs._enabled
+    if not was_enabled:
+        obs.enable()
+    try:
+        def work():
+            # family.count span opens inside: samples taken during the
+            # kernel attribute to it (KERNEL_SPAN_PREFIXES)
+            return count_butterflies_unblocked(g, 6, strategy="adjacency")
+
+        t_off, expected = _best_of(work, repeats)
+        obs_profile.clear_samples()
+        obs.start_profiler()
+        try:
+            t_on, v = _best_of(work, repeats)
+        finally:
+            obs.stop_profiler()
+        assert v == expected, "profiled count disagrees"
+        records = obs_profile.samples()
+        if profile_out:
+            obs_profile.write_collapsed(profile_out, records)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    attributed = [s for s in records if s.get("span")]
+    kernel = [
+        s for s in attributed
+        if str(s["span"]).startswith(KERNEL_SPAN_PREFIXES)
+    ]
+    t_off = max(t_off, OVERHEAD_FLOOR_SECONDS)
+    return {
+        "hz": obs_profile.DEFAULT_PROFILE_HZ,
+        "graph": {
+            "generator": "power_law_bipartite(3000, 4000, 150000, seed=7)",
+            "n_edges": g.n_edges,
+        },
+        "seconds_profiler_off": t_off,
+        "seconds_profiler_on": t_on,
+        "profiler_overhead": max(t_on / t_off - 1.0, 0.0),
+        "samples": len(records),
+        "attributed_samples": len(attributed),
+        "kernel_samples": len(kernel),
+        "profile_out": profile_out,
+    }
+
+
+def _drift_section(repeats: int) -> dict:
+    """Cost-model drift: execute planned runs, then read the ledger back.
+
+    Runs a handful of planned executions with observability on so
+    ``engine.execute`` appends real (est, actual) pairs to the
+    persistent ledger, then summarises it via ``engine.drift_report()``
+    — the same data ``repro-butterfly explain --drift`` renders.
+    """
+    from repro import engine, obs
+
+    g = power_law_bipartite(800, 1_000, 20_000, seed=9)
+    table = engine.calibrate(repeats=1, persist=False)
+    was_enabled = obs._enabled
+    if not was_enabled:
+        obs.enable()
+    try:
+        expected = None
+        for _ in range(max(repeats, 2)):
+            value = engine.plan(g, "count", calibration=table).execute(g)
+            if expected is None:
+                expected = value
+            assert value == expected, "planned executions disagree"
+    finally:
+        if not was_enabled:
+            obs.disable()
+    report = engine.drift_report()
+    return {
+        "ledger": report["path"],
+        "records": report["count"],
+        "median_rel_error": report["median_rel_error"],
+        "mean_rel_error": report["mean_rel_error"],
+        "plans": len(report["plans"]),
+    }
+
+
 def _analysis_section() -> dict:
     """Static-analyzer self-scan cost over the installed ``repro`` tree.
 
@@ -359,7 +464,10 @@ def _analysis_section() -> dict:
 
 
 def run_benchmark(
-    n_workers: int = 2, repeats: int = 5, throughput: bool = True
+    n_workers: int = 2,
+    repeats: int = 5,
+    throughput: bool = True,
+    profile_out: str | None = None,
 ) -> dict:
     """Run all sections and return the JSON-ready payload."""
     payload = {
@@ -371,6 +479,8 @@ def run_benchmark(
         "planner_regret": _planner_regret_section(repeats),
         "wedge": _wedge_section(n_workers, repeats),
         "stream": _stream_section(repeats),
+        "profiler": _profiler_section(repeats, profile_out),
+        "plan_drift": _drift_section(repeats),
         "analysis": _analysis_section(),
     }
     if throughput:
@@ -405,6 +515,12 @@ def main(argv=None) -> int:
         help="append this run's flattened payload to a bench-history "
         "JSONL (the `bench --compare` trend file)",
     )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the profiler section's collapsed stacks to PATH "
+        "(the CI profile artifact; render with `repro-butterfly "
+        "profile PATH`)",
+    )
     args = parser.parse_args(argv)
 
     from repro import obs
@@ -415,6 +531,7 @@ def main(argv=None) -> int:
         n_workers=args.workers,
         repeats=args.repeats,
         throughput=not args.no_throughput,
+        profile_out=args.profile_out,
     )
     if args.metrics_out:
         records = obs.dump_jsonl(args.metrics_out, benchmark="parallel_bench")
@@ -467,6 +584,16 @@ def main(argv=None) -> int:
           f"({s['stream_speedup_vs_edge_ratio']:.1f}x slower)")
     print(f"  full recount      : {s['seconds_recount'] * 1e3:8.2f} ms  "
           f"({s['stream_speedup_vs_recount_ratio']:.1f}x slower)")
+    pr = payload["profiler"]
+    print(f"sampling profiler ({pr['hz']} Hz, {pr['samples']} samples, "
+          f"{pr['kernel_samples']} in kernel spans):")
+    print(f"  overhead          : {pr['profiler_overhead'] * 100:8.2f} %  "
+          f"(lower is better)")
+    dr = payload["plan_drift"]
+    median = dr["median_rel_error"]
+    shown = "n/a" if median is None else f"{median:.1%}"
+    print(f"plan-drift ledger ({dr['records']} records, {dr['plans']} "
+          f"plans): median rel error {shown}")
     return 0
 
 

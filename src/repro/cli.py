@@ -5,6 +5,9 @@
     repro-butterfly info       GRAPH [--json]   # structural statistics
     repro-butterfly count      GRAPH [options]  # exact butterfly count
     repro-butterfly explain    GRAPH [options]  # engine plan table (no run)
+    repro-butterfly explain    --drift          # cost-model drift ledger report
+    repro-butterfly calibrate  [--if-drifted T] # re-pin cost-model constants
+    repro-butterfly profile    PROFILE          # render collapsed-stack samples
     repro-butterfly peel       GRAPH --k K [--mode tip|wing] [--side left|right]
     repro-butterfly decompose  GRAPH [--mode tip|wing] [--top N]
     repro-butterfly bench      [--dataset NAME] # fig10-style sweep on a stand-in
@@ -29,6 +32,13 @@ trace-event JSON on exit; the whole command runs under a ``cli.<command>``
 root span, so the file loads in Perfetto as one tree — with
 ``count --blocked`` the nesting is family → invariant → panel, and
 parallel runs re-parent worker spans under their dispatch span.
+
+``--profile-out PATH`` (global) enables observability plus the
+background sampling profiler (:mod:`repro.obs.profile`) and writes the
+run's samples as collapsed stacks on exit — ``profile PATH`` renders the
+file as a self/total frame table, and the same data loads directly in
+speedscope / ``flamegraph.pl``.  ``--profile-hz`` tunes the sampling
+rate.
 
 ``bench --compare BASELINE.json`` switches the bench subcommand into the
 perf-regression gate: the current payload (``--current``, default
@@ -99,6 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="enable observability and write the run's span tree to PATH "
         "as Chrome trace-event JSON (load at https://ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="enable observability plus the background sampling profiler "
+        "and write collapsed stacks to PATH on exit (render with the "
+        "'profile' subcommand, speedscope, or flamegraph.pl)",
+    )
+    p.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="sampling rate for --profile-out (default: "
+        "repro.obs.DEFAULT_PROFILE_HZ)",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -180,7 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the engine's scored plan table for a graph without "
         "executing it",
     )
-    p_explain.add_argument("graph")
+    p_explain.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph to plan for (not needed with --drift)",
+    )
     p_explain.add_argument(
         "--workload", choices=("count", "vertex-counts", "tip", "wing"),
         default="count",
@@ -209,6 +238,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--calibrate", action="store_true",
         help="measure this machine's ns/op coefficients first (persisted "
         "under results/, used by every later plan)",
+    )
+    p_explain.add_argument(
+        "--drift", action="store_true",
+        help="report the cost model's predicted-vs-actual drift from the "
+        "persistent ledger instead of planning a graph",
+    )
+    p_explain.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="drift ledger path for --drift (default: "
+        "results/plan_drift.jsonl, or $REPRO_DRIFT_LEDGER)",
+    )
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure this machine's ns/op cost-model coefficients "
+        "(optionally only when the drift ledger says they are stale)",
+    )
+    p_cal.add_argument(
+        "--if-drifted", type=float, default=None, metavar="THRESHOLD",
+        help="only recalibrate when the ledger's median relative error "
+        "exceeds THRESHOLD (e.g. 0.5 = 50%%); otherwise keep the "
+        "current table",
+    )
+    p_cal.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="measurement repeats per micro-benchmark (default 3)",
+    )
+    p_cal.add_argument(
+        "--no-persist", action="store_true",
+        help="measure but do not write results/engine_calibration.json",
+    )
+    p_cal.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="drift ledger consulted by --if-drifted (default: "
+        "results/plan_drift.jsonl, or $REPRO_DRIFT_LEDGER)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="render a collapsed-stack profile written by --profile-out "
+        "as a self/total frame table",
+    )
+    p_prof.add_argument("input", help="collapsed-stack file (--profile-out)")
+    p_prof.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="show the N hottest frames (default 20)",
     )
 
     p_bench = sub.add_parser(
@@ -360,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser(
         "analyze",
-        help="run the project-native static analyzer (rules RPR001-RPR006)",
+        help="run the project-native static analyzer (rules RPR001-RPR007)",
     )
     p_an.add_argument(
         "paths", nargs="*", default=["src/repro"], metavar="PATH",
@@ -513,6 +588,13 @@ def _cmd_peel(args) -> int:
 def _cmd_explain(args) -> int:
     from repro import engine
 
+    if args.drift:
+        report = engine.drift_report(path=args.ledger)
+        print(engine.render_drift_report(report))
+        return 0
+    if args.graph is None:
+        print("error: explain needs a GRAPH (or --drift)", file=sys.stderr)
+        return 2
     g = _load(args.graph)
     calibration = None
     if args.calibrate:
@@ -531,6 +613,49 @@ def _cmd_explain(args) -> int:
         calibration=calibration,
     )
     print(engine.explain(plan, g, calibration=calibration))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro import engine
+
+    persist = not args.no_persist
+    if args.if_drifted is not None:
+        table, report = engine.calibrate_if_drifted(
+            args.if_drifted, path=args.ledger,
+            repeats=args.repeats, persist=persist,
+        )
+        median = report.get("median_rel_error")
+        shown = "n/a (empty ledger)" if median is None else f"{median:.1%}"
+        print(f"drift ledger : {report['path']} ({report['count']} records)")
+        print(f"median error : {shown} (threshold {args.if_drifted:.1%})")
+        if table is None:
+            print("calibration  : kept (not drifted)")
+            return 0
+        print(f"calibration  : re-measured -> {table.source}")
+        return 0
+    table = engine.calibrate(repeats=args.repeats, persist=persist)
+    print(f"calibrated this machine -> {table.source}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import parse_collapsed, render_profile_report
+
+    try:
+        with open(args.input, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: cannot read profile {args.input}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        counts = parse_collapsed(text)
+    except ValueError as exc:
+        print(f"error: {args.input} is not a collapsed-stack file: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_profile_report(counts, top=args.top))
     return 0
 
 
@@ -823,6 +948,8 @@ def main(argv=None) -> int:
         "count": _cmd_count,
         "peel": _cmd_peel,
         "explain": _cmd_explain,
+        "calibrate": _cmd_calibrate,
+        "profile": _cmd_profile,
         "bench": _cmd_bench,
         "decompose": _cmd_decompose,
         "generate": _cmd_generate,
@@ -833,17 +960,23 @@ def main(argv=None) -> int:
     }[args.command]
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
-    if not metrics_out and not trace_out:
+    profile_out = getattr(args, "profile_out", None)
+    if not metrics_out and not trace_out and not profile_out:
         return handler(args)
     from repro import obs
 
     obs.enable()
+    if profile_out:
+        obs.start_profiler(hz=getattr(args, "profile_hz", None))
     try:
         # root span: every command's trace renders as one cli.<command>
         # tree (worker spans re-parent under their dispatch span inside)
         with obs.span(f"cli.{args.command}", command=args.command):
             return handler(args)
     finally:
+        if profile_out:
+            obs.stop_profiler()
+            obs.dump_profile(profile_out)
         if metrics_out:
             obs.dump_jsonl(metrics_out, command=args.command)
         if trace_out:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+
 __all__ = [
     "StreamingEstimator",
     "DEFAULT_VARIANCE_SCALE",
@@ -50,14 +52,15 @@ def _z_for_confidence(confidence: float) -> float:
 class _Reservoir:
     """One independent FLEET group: edge reservoir + weighted total."""
 
-    __slots__ = ("capacity", "rng", "t", "total", "_adj_left", "_adj_right",
-                 "_edges")
+    __slots__ = ("capacity", "rng", "t", "total", "swaps", "_adj_left",
+                 "_adj_right", "_edges")
 
     def __init__(self, capacity: int, rng: np.random.Generator) -> None:
         self.capacity = capacity
         self.rng = rng
         self.t = 0  # edges seen so far
         self.total = 0.0
+        self.swaps = 0  # reservoir evictions (plain int: obs-free hot path)
         self._adj_left: dict[int, set[int]] = {}
         self._adj_right: dict[int, set[int]] = {}
         self._edges: list[tuple[int, int]] = []
@@ -96,6 +99,7 @@ class _Reservoir:
         else:
             j = int(self.rng.integers(self.t))
             if j < self.capacity:
+                self.swaps += 1
                 ou, ov = self._edges[j]
                 self._adj_left[ou].discard(ov)
                 if not self._adj_left[ou]:
@@ -167,18 +171,44 @@ class StreamingEstimator:
             group.add(u, v)
 
     def add_edges(self, edges) -> None:
-        """Feed a batch of arriving edges in order."""
-        for u, v in edges:
-            self.add_edge(int(u), int(v))
+        """Feed a batch of arriving edges in order.
+
+        The instrumented batch entry point: one ``stream.sketch.add_edges``
+        span per batch plus the arrival and reservoir-swap totals — the
+        per-edge :meth:`add_edge` hot path stays obs-free (the reservoirs
+        count their own swaps as plain ints and this aggregates them).
+        """
+        if not obs._enabled:
+            for u, v in edges:
+                self.add_edge(int(u), int(v))
+            return
+        swaps_before = sum(g.swaps for g in self._groups)
+        arrived = 0
+        with obs.span("stream.sketch.add_edges"):
+            for u, v in edges:
+                self.add_edge(int(u), int(v))
+                arrived += 1
+            if obs._enabled:
+                obs.inc("stream.sketch.edges", arrived)
+                obs.inc(
+                    "stream.sketch.reservoir_swaps",
+                    sum(g.swaps for g in self._groups) - swaps_before,
+                )
 
     def estimate(self) -> tuple[float, float, float]:
         """Current ``(value, ci_low, ci_high)``; the low bound clamps at 0."""
-        totals = np.asarray([g.total for g in self._groups], dtype=np.float64)
-        value = float(totals.mean())
-        spread = float(totals.std(ddof=1))
-        z = _z_for_confidence(self.confidence)
-        half = z * self.variance_scale * spread / np.sqrt(self.groups)
-        return value, max(0.0, value - half), value + half
+        with obs.span("stream.sketch.estimate"):
+            totals = np.asarray(
+                [g.total for g in self._groups], dtype=np.float64
+            )
+            value = float(totals.mean())
+            spread = float(totals.std(ddof=1))
+            z = _z_for_confidence(self.confidence)
+            half = z * self.variance_scale * spread / np.sqrt(self.groups)
+            if obs._enabled:
+                obs.observe("stream.sketch.estimate.value", value)
+                obs.observe("stream.sketch.estimate.ci_width", 2.0 * half)
+            return value, max(0.0, value - half), value + half
 
     def __repr__(self) -> str:
         value, lo, hi = self.estimate()

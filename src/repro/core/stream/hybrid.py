@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 
+from repro import obs
 from repro.core.stream.counter import StreamingButterflyCounter
 from repro.core.stream.estimator import (
     DEFAULT_VARIANCE_SCALE,
@@ -106,6 +107,11 @@ class HybridStreamCounter:
         # a batch longer than the window can evict its own head — only
         # arrivals still live after eviction are materialised
         insert = [e for e in arrivals if e in self._live]
+        if obs._enabled:
+            # promoted = arrivals materialised into the exact window;
+            # demoted = evictions now represented only by the sketch
+            obs.inc("stream.hybrid.window_promoted", len(insert))
+            obs.inc("stream.hybrid.window_demoted", len(evict))
         return self.exact.apply(insert=insert, delete=evict)
 
     def window_count(self) -> int:

@@ -30,6 +30,7 @@ import zlib
 
 import numpy as np
 
+from repro import obs
 from repro._types import COUNT_DTYPE
 
 __all__ = [
@@ -80,23 +81,34 @@ def encode_snapshot(
     per_right: np.ndarray,
 ) -> bytes:
     """Serialise counter state into one self-contained byte frame."""
-    arrays = [
-        ("keys", np.ascontiguousarray(keys, dtype=np.int64)),
-        ("per_left", np.ascontiguousarray(per_left, dtype=np.int64)),
-        ("per_right", np.ascontiguousarray(per_right, dtype=np.int64)),
-    ]
-    header = {
-        "n_left": int(n_left),
-        "n_right": int(n_right),
-        "n_edges": int(keys.size),
-        "count": int(count),
-        "arrays": [{"name": name, "length": int(a.size)} for name, a in arrays],
-    }
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    payload = b"".join(a.astype("<i8", copy=False).tobytes() for _, a in arrays)
-    crc = zlib.crc32(header_bytes + payload) & 0xFFFFFFFF
-    prefix = _PREFIX.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, len(header_bytes), crc)
-    return prefix + header_bytes + payload
+    with obs.span("stream.snapshot.save"):
+        arrays = [
+            ("keys", np.ascontiguousarray(keys, dtype=np.int64)),
+            ("per_left", np.ascontiguousarray(per_left, dtype=np.int64)),
+            ("per_right", np.ascontiguousarray(per_right, dtype=np.int64)),
+        ]
+        header = {
+            "n_left": int(n_left),
+            "n_right": int(n_right),
+            "n_edges": int(keys.size),
+            "count": int(count),
+            "arrays": [
+                {"name": name, "length": int(a.size)} for name, a in arrays
+            ],
+        }
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        payload = b"".join(
+            a.astype("<i8", copy=False).tobytes() for _, a in arrays
+        )
+        crc = zlib.crc32(header_bytes + payload) & 0xFFFFFFFF
+        prefix = _PREFIX.pack(
+            SNAPSHOT_MAGIC, SNAPSHOT_VERSION, len(header_bytes), crc
+        )
+        frame = prefix + header_bytes + payload
+        if obs._enabled:
+            obs.inc("stream.snapshot.bytes", len(frame))
+            obs.inc("stream.snapshot.saves")
+        return frame
 
 
 def decode_snapshot(data: bytes) -> dict:
@@ -105,8 +117,17 @@ def decode_snapshot(data: bytes) -> dict:
     Returns ``{"n_left", "n_right", "count", "keys", "per_left",
     "per_right"}`` with freshly-allocated int64 arrays.  Raises a typed
     :class:`SnapshotError` subclass on any defect; no partial results
-    escape.
+    escape (rejections bump ``stream.snapshot.restore_failures``).
     """
+    with obs.span("stream.snapshot.restore"):
+        try:
+            return _decode_snapshot(data)
+        except SnapshotError:
+            obs.inc("stream.snapshot.restore_failures")
+            raise
+
+
+def _decode_snapshot(data: bytes) -> dict:
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise SnapshotFormatError(
             f"snapshot must be bytes, got {type(data).__name__}"

@@ -32,6 +32,8 @@ Layers:
   defaults when uncalibrated).
 - :mod:`repro.engine.execute` — :func:`execute` dispatch onto the
   family / blocked / shared-executor / peeling code paths.
+- :mod:`repro.engine.drift` — the persistent predicted-vs-actual
+  ledger behind :func:`drift_report` and :func:`calibrate_if_drifted`.
 """
 
 from repro.engine.calibration import (
@@ -41,6 +43,15 @@ from repro.engine.calibration import (
     calibrate,
     load_calibration,
     save_calibration,
+)
+from repro.engine.drift import (
+    DEFAULT_DRIFT_LEDGER_PATH,
+    calibrate_if_drifted,
+    drift_report,
+    load_drift,
+    plan_fingerprint,
+    record_drift,
+    render_drift_report,
 )
 from repro.engine.execute import execute
 from repro.engine.plan import (
@@ -78,4 +89,11 @@ __all__ = [
     "DEFAULT_COEFFICIENTS",
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_PLAN_BLOCK_BUDGET",
+    "DEFAULT_DRIFT_LEDGER_PATH",
+    "plan_fingerprint",
+    "record_drift",
+    "load_drift",
+    "drift_report",
+    "render_drift_report",
+    "calibrate_if_drifted",
 ]

@@ -8,7 +8,10 @@ execution runs under an ``engine.execute`` span whose attributes record
 both the decision (invariant / strategy / executor / workers) and the
 **predicted vs actual** cost, so a Perfetto trace or ``stats`` table
 shows *why* a run was shaped the way it was and how good the model's
-guess turned out to be.
+guess turned out to be.  The same comparison is appended to the
+persistent plan-drift ledger (:mod:`repro.engine.drift`) so
+``explain --drift`` / ``calibrate --if-drifted`` can act on it across
+runs.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import time
 
 from repro import obs
+from repro.engine.drift import record_drift
 from repro.engine.plan import Plan
 from repro.graphs.bipartite import BipartiteGraph
 
@@ -71,6 +75,9 @@ def execute(
             sp.set_attributes(actual_ms=round(actual * 1e3, 4))
             obs.observe("engine.predicted_ms", the_plan.est_ms)
             obs.observe("engine.actual_ms", actual * 1e3)
+            # persist predicted-vs-actual to the plan-drift ledger (a
+            # no-op when the ledger is disabled; see engine/drift.py)
+            record_drift(the_plan, actual)
     return result
 
 

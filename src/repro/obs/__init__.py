@@ -76,6 +76,14 @@ from repro.obs.trace import (
     current_span,
     span_tree,
 )
+from repro.obs import profile as _profile
+from repro.obs.profile import (
+    DEFAULT_PROFILE_HZ,
+    Profiler,
+    SampleBuffer,
+    collapsed_stacks,
+    parse_collapsed,
+)
 from repro.obs.export import (
     ObsServer,
     chrome_trace,
@@ -127,6 +135,15 @@ __all__ = [
     "dump_jsonl",
     "dump_trace",
     "serve",
+    "Profiler",
+    "SampleBuffer",
+    "DEFAULT_PROFILE_HZ",
+    "start_profiler",
+    "stop_profiler",
+    "profile_samples",
+    "dump_profile",
+    "collapsed_stacks",
+    "parse_collapsed",
 ]
 
 #: ``REPRO_OBS=0`` pins the no-op path for the whole process (benchmarks).
@@ -148,6 +165,9 @@ _TRACER = Tracer()
 
 #: Reserved key carrying span records inside a worker's metric delta.
 TRACE_DELTA_KEY = "__trace__"
+
+#: Reserved key carrying profile samples inside a worker's metric delta.
+PROFILE_DELTA_KEY = "__profile__"
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +220,7 @@ def capture():
     fresh = Metrics()
     _REGISTRY = fresh
     _TRACER = Tracer()
+    previous_samples = _profile.swap_buffer(SampleBuffer())
     if not _FORCED_OFF:
         _enabled = True
     try:
@@ -207,6 +228,7 @@ def capture():
     finally:
         _REGISTRY = previous_registry
         _TRACER = previous_tracer
+        _profile.swap_buffer(previous_samples)
         _enabled = previous_enabled
 
 
@@ -320,13 +342,17 @@ def worker_delta() -> dict[str, dict]:
     """A worker task's full delta: metric snapshot + drained span records.
 
     The span records travel under the reserved :data:`TRACE_DELTA_KEY`
-    key (drained, so consecutive tasks in one worker ship disjoint
-    windows); :func:`merge_snapshot` pops it back out on the owner side.
+    key and profile samples under :data:`PROFILE_DELTA_KEY` (both
+    drained, so consecutive tasks in one worker ship disjoint windows);
+    :func:`merge_snapshot` pops them back out on the owner side.
     """
     delta = _REGISTRY.snapshot()
     spans = _TRACER.drain()
     if spans:
         delta[TRACE_DELTA_KEY] = {"type": "spans", "spans": spans}
+    sampled = _profile.drain_samples()
+    if sampled:
+        delta[PROFILE_DELTA_KEY] = {"type": "profile", "samples": sampled}
     return delta
 
 
@@ -346,16 +372,25 @@ def merge_snapshot(
     as one tree.
     """
     trace_part = delta.get(TRACE_DELTA_KEY)
+    profile_part = delta.get(PROFILE_DELTA_KEY)
+    if trace_part is not None or profile_part is not None:
+        delta = {
+            k: v
+            for k, v in delta.items()
+            if k not in (TRACE_DELTA_KEY, PROFILE_DELTA_KEY)
+        }
     if trace_part is not None:
-        delta = {k: v for k, v in delta.items() if k != TRACE_DELTA_KEY}
         _TRACER.extend(adopt_spans(trace_part.get("spans", []), parent))
+    if profile_part is not None:
+        _profile.ingest_samples(profile_part.get("samples", []), parent)
     _REGISTRY.merge(delta)
 
 
 def reset() -> None:
-    """Clear the process-wide registry and the span ring buffer."""
+    """Clear the registry, the span ring buffer and the profile samples."""
     _REGISTRY.reset()
     _TRACER.clear()
+    _profile.clear_samples()
 
 
 def render(title: str | None = None) -> str:
@@ -381,8 +416,42 @@ def dump_trace(path, **meta) -> dict:
 
 def serve(port: int = 0, host: str = "127.0.0.1") -> ObsServer:
     """Start the live scrape endpoint (``/metrics``, ``/trace``,
-    ``/healthz``) on a daemon thread; see :func:`repro.obs.export.serve`.
+    ``/profile``, ``/healthz``) on a daemon thread; see
+    :func:`repro.obs.export.serve`.
     """
     from repro.obs.export import serve as _serve
 
     return _serve(port=port, host=host)
+
+
+# ----------------------------------------------------------------------
+# sampling profiler (see repro/obs/profile.py)
+# ----------------------------------------------------------------------
+def start_profiler(hz: float | None = None) -> Profiler | None:
+    """Start the background sampling profiler (None while disabled).
+
+    No thread is constructed on the disabled path — ``REPRO_OBS=0``
+    renders this a true no-op.  Samples attribute to the innermost open
+    :func:`span` of each thread; read them back with
+    :func:`profile_samples` or export via :func:`dump_profile`.
+    """
+    return _profile.start_profiler(hz=hz)
+
+
+def stop_profiler() -> Profiler | None:
+    """Stop the background sampling profiler, returning its handle."""
+    return _profile.stop_profiler()
+
+
+def profile_samples() -> list[dict]:
+    """Snapshot list (oldest first) of the buffered profile samples."""
+    return _profile.samples()
+
+
+def dump_profile(path) -> str:
+    """Write the buffered samples to ``path`` as collapsed-stack text.
+
+    The format ``flamegraph.pl`` and https://speedscope.app ingest
+    directly; returns the written text.
+    """
+    return _profile.write_collapsed(path)

@@ -12,13 +12,19 @@ Three consumers, three formats:
   ``chrome://tracing``.
 - :func:`render_prometheus` — the text-exposition rendering of a
   :class:`~repro.obs.metrics.Metrics` registry: counters → ``counter``,
-  gauges → ``gauge``, histograms → ``summary`` (``_count``/``_sum``)
-  plus ``_min``/``_max`` gauges.  :func:`parse_prometheus` is the strict
-  line parser the round-trip test (and any scraper smoke check) uses.
+  gauges → ``gauge``, histograms → native Prometheus ``histogram``
+  exposition (cumulative ``_bucket{le="..."}`` lines from the log-scale
+  buckets, so PromQL ``histogram_quantile`` works) plus the exact
+  ``_count``/``_sum`` and ``_min``/``_max`` gauges.  Records predating
+  the bucketed histogram render as ``summary`` exactly as before.
+  :func:`parse_prometheus` is the strict line parser the round-trip
+  test (and any scraper smoke check) uses.
 - :func:`serve` — a ``ThreadingHTTPServer`` on a daemon thread exposing
   ``GET /metrics`` (Prometheus text), ``GET /trace`` (Chrome trace JSON
-  of the live ring buffer) and ``GET /healthz``; scrape a long peel or
-  bench run while it is running.  Stdlib only, no new dependencies.
+  of the live ring buffer), ``GET /profile`` (collapsed-stack text of
+  the live sampling profiler; ``/profile.json`` for Chrome sample
+  events) and ``GET /healthz``; scrape a long peel or bench run while
+  it is running.  Stdlib only, no new dependencies.
 """
 
 from __future__ import annotations
@@ -147,9 +153,13 @@ def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
 def render_prometheus(metrics: Metrics, prefix: str = "repro") -> str:
     """Text-exposition (version 0.0.4) rendering of ``metrics``.
 
-    Counters render as ``counter``, gauges as ``gauge``, histograms as
-    ``summary`` (``_count`` + ``_sum``) with ``_min``/``_max`` gauges
-    alongside — the four fields the exact streaming histogram keeps.
+    Counters render as ``counter``, gauges as ``gauge``.  Histograms
+    carrying log-scale buckets render as native Prometheus
+    ``histogram``: cumulative ``{flat}_bucket{le="<bound>"}`` lines
+    (underflow folds into every finite bound, ``+Inf`` equals the exact
+    count) followed by the ``_count``/``_sum`` pair, with ``_min`` /
+    ``_max`` gauges alongside.  A record without buckets (re-aggregated
+    from pre-bucket JSONL) renders as the original ``summary``.
     """
     snapshot = metrics.snapshot()
     lines: list[str] = []
@@ -167,7 +177,24 @@ def render_prometheus(metrics: Metrics, prefix: str = "repro") -> str:
             lines.append(f"{flat} {_num(record['value'])}")
         else:  # histogram
             lines.append(f"# HELP {flat} repro.obs histogram {name}")
-            lines.append(f"# TYPE {flat} summary")
+            buckets = record.get("buckets")
+            if buckets:
+                from repro.obs.metrics import Histogram
+
+                lines.append(f"# TYPE {flat} histogram")
+                occupied = {int(k): v for k, v in buckets.items()}
+                cumulative = record.get("underflow", 0)
+                for idx in sorted(occupied):
+                    cumulative += occupied[idx]
+                    le = _num(float(Histogram.bucket_bound(idx)))
+                    lines.append(
+                        f'{flat}_bucket{{le="{le}"}} {_num(cumulative)}'
+                    )
+                lines.append(
+                    f'{flat}_bucket{{le="+Inf"}} {_num(record["count"])}'
+                )
+            else:
+                lines.append(f"# TYPE {flat} summary")
             lines.append(f"{flat}_count {_num(record['count'])}")
             lines.append(f"{flat}_sum {_num(record['total'])}")
             for bound in ("min", "max"):
@@ -226,10 +253,25 @@ class _ScrapeHandler(BaseHTTPRequestHandler):
                 chrome_trace(obs.trace_records()), default=_json_default
             ).encode()
             ctype = "application/json"
+        elif path == "/profile":
+            from repro.obs import profile as _profile
+
+            body = _profile.collapsed_stacks(_profile.samples()).encode()
+            ctype = "text/plain; charset=utf-8"
+        elif path == "/profile.json":
+            from repro.obs import profile as _profile
+
+            body = json.dumps(
+                _profile.chrome_profile(_profile.samples()),
+                default=_json_default,
+            ).encode()
+            ctype = "application/json"
         elif path == "/healthz":
             body, ctype = b"ok\n", "text/plain; charset=utf-8"
         else:
-            self.send_error(404, "unknown path (try /metrics, /trace, /healthz)")
+            self.send_error(
+                404, "unknown path (try /metrics, /trace, /profile, /healthz)"
+            )
             return
         self.send_response(200)
         self.send_header("Content-Type", ctype)

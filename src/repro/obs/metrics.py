@@ -5,8 +5,9 @@ integer counters, no background threads):
 
 - :class:`Counter` — monotonically increasing int64-exact total.
 - :class:`Gauge` — last-write-wins instantaneous value.
-- :class:`Histogram` — streaming summary (count / total / min / max) of
-  observed samples; what :func:`repro.obs.span` records durations into.
+- :class:`Histogram` — streaming summary (count / total / min / max)
+  plus fixed log-scale buckets answering :meth:`Histogram.quantile`
+  (p50/p90/p99); what :func:`repro.obs.span` records durations into.
 
 The registry is the single aggregation point.  It is
 
@@ -21,10 +22,25 @@ The registry is the single aggregation point.  It is
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "GAUGE_POLICIES"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "GAUGE_POLICIES",
+    "BUCKETS_PER_OCTAVE",
+]
+
+#: Log-scale bucket resolution: buckets per factor of 2.  Four per octave
+#: bounds the relative error of any bucket-derived quantile at
+#: ``2**(1/4) - 1`` ≈ 19% — plenty for latency percentiles, and small
+#: enough that a duration histogram spanning ns..minutes stays under a
+#: hundred occupied buckets.
+BUCKETS_PER_OCTAVE = 4
 
 
 class Counter:
@@ -105,22 +121,31 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of a sample stream: count, total, min, max.
+    """Streaming summary of a sample stream with log-scale buckets.
 
-    Enough to answer "how many spans, how much time, how skewed" without
-    bucket bookkeeping; two histograms merge exactly (all four fields are
-    associative reductions), which is what makes the worker-delta path
-    loss-free.
+    Keeps the exact count / total / min / max reductions of the original
+    summary *and* a sparse dict of fixed log-scale buckets (``idx →
+    occurrences`` where ``idx = floor(log2(value) * BUCKETS_PER_OCTAVE)``
+    for positive samples; non-positive samples land in ``underflow``).
+    The buckets answer :meth:`quantile` (p50/p90/p99) to within one
+    bucket width, and every field is an associative, commutative
+    reduction — integer adds plus min/max — so worker deltas merge
+    loss-free in any order.  Records written before buckets existed
+    (no ``"buckets"`` key) still merge: their samples contribute to
+    count/total/min/max exactly as before and simply carry no quantile
+    information.
     """
 
     kind = "histogram"
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "underflow", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.min = None
         self.max = None
+        self.underflow = 0
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value) -> None:
         self.count += 1
@@ -129,10 +154,64 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value > 0:
+            idx = math.floor(math.log2(value) * BUCKETS_PER_OCTAVE)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        else:
+            self.underflow += 1
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0
+
+    @staticmethod
+    def bucket_bound(idx: int) -> float:
+        """Inclusive upper bound of bucket ``idx`` (its ``le`` edge)."""
+        return 2.0 ** ((idx + 1) / BUCKETS_PER_OCTAVE)
+
+    def quantile(self, q: float):
+        """The ``q``-quantile from the buckets, or None without samples.
+
+        Answers from the log-scale buckets: walk the cumulative counts
+        (underflow first, then ascending bucket index) to the bucket
+        holding the empirical-quantile rank ``ceil(q·n) − 1`` and report
+        its upper bound, clamped to the exact observed ``[min, max]``.
+        Accurate to one bucket width (≈19% relative at
+        :data:`BUCKETS_PER_OCTAVE` = 4); tail quantiles round *up* to
+        the observed extreme rather than interpolating below it.
+        Returns None when no bucketed samples exist — e.g. a histogram
+        re-aggregated purely from pre-bucket records.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        n = self.underflow + sum(self.buckets.values())
+        if n == 0:
+            return None
+        rank = max(math.ceil(q * n) - 1, 0)
+        cum = self.underflow
+        if rank < cum:
+            return float(self.min) if self.min is not None else 0.0
+        value = None
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if rank < cum:
+                value = self.bucket_bound(idx)
+                break
+        if value is None:  # rank == n - 1 exactly: the last bucket
+            value = self.bucket_bound(max(self.buckets))
+        if self.max is not None:
+            value = min(value, float(self.max))
+        if self.min is not None:
+            value = max(value, float(self.min))
+        return value
+
+    def percentiles(self) -> dict:
+        """The standard latency trio: ``{"p50": .., "p90": .., "p99": ..}``."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
 
     def as_dict(self) -> dict:
         return {
@@ -141,7 +220,17 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            "underflow": self.underflow,
+            # string keys so the record survives a JSON round-trip intact
+            "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
         }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Histogram":
+        """Rebuild a histogram from one :meth:`as_dict` record."""
+        h = cls()
+        h.merge_dict(record)
+        return h
 
     def merge_dict(self, record: dict) -> None:
         self.count += record["count"]
@@ -157,11 +246,18 @@ class Histogram:
                 self.min = min(current, incoming)
             else:
                 self.max = max(current, incoming)
+        # pre-bucket records (old snapshots / JSONL files) stop here: the
+        # count/total/min/max folds above are bitwise-identical to the
+        # original summary merge.
+        self.underflow += record.get("underflow", 0)
+        for key, occurrences in (record.get("buckets") or {}).items():
+            idx = int(key)
+            self.buckets[idx] = self.buckets.get(idx, 0) + occurrences
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Histogram(count={self.count}, total={self.total}, "
-            f"min={self.min}, max={self.max})"
+            f"min={self.min}, max={self.max}, buckets={len(self.buckets)})"
         )
 
 

@@ -29,7 +29,7 @@ import json
 import secrets
 import time
 
-from repro.obs.metrics import Metrics
+from repro.obs.metrics import Histogram, Metrics
 
 __all__ = [
     "MemorySink",
@@ -150,7 +150,7 @@ def read_jsonl(path, run: str | None = None) -> Metrics:
 
 
 #: Histogram field order in the rendered detail column.
-_HIST_FIELDS = ("count", "total", "mean", "min", "max")
+_HIST_FIELDS = ("count", "total", "mean", "p50", "p90", "p99", "min", "max")
 
 
 def render_table(metrics: Metrics, title: str | None = None) -> str:
@@ -158,8 +158,10 @@ def render_table(metrics: Metrics, title: str | None = None) -> str:
 
     Stable output: names sort lexicographically (one deterministic order
     per registry content), a blank line separates layer groups, and the
-    name/type/detail columns are padded to align.  Histograms whose name
-    ends in ``.seconds`` render their total/mean/min/max in milliseconds
+    name/type/detail columns are padded to align.  Histograms render
+    their bucket-derived p50/p90/p99 between mean and min (``-`` when
+    the record predates buckets), and those whose name ends in
+    ``.seconds`` render every duration field in milliseconds
     (``12.3ms``) — durations at the scale :func:`repro.obs.span` records
     are unreadable in scientific-notation seconds.
     """
@@ -214,10 +216,14 @@ def _detail_fields(name: str, record: dict) -> dict[str, str]:
     mean = total / count if count else 0.0
     in_ms = name.endswith(".seconds")
     fmt = _fmt_ms if in_ms else _fmt
+    percentiles = Histogram.from_dict(record).percentiles()
     return {
         "count": str(count),
         "total": fmt(total),
         "mean": fmt(mean),
+        "p50": fmt(percentiles["p50"]),
+        "p90": fmt(percentiles["p90"]),
+        "p99": fmt(percentiles["p99"]),
         "min": fmt(record["min"]),
         "max": fmt(record["max"]),
     }

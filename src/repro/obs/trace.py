@@ -42,6 +42,7 @@ __all__ = [
     "Span",
     "Tracer",
     "current_span",
+    "active_span_for_thread",
     "adopt_spans",
     "span_tree",
     "DEFAULT_TRACE_CAPACITY",
@@ -55,6 +56,14 @@ DEFAULT_TRACE_CAPACITY = 1 << 16
 #: The enclosing span of the current logical context (None at top level).
 _CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
 
+#: thread ident → innermost live span of that thread.  A ``ContextVar``
+#: is only readable from its own thread, but the sampling profiler
+#: (:mod:`repro.obs.profile`) attributes stacks from a *different*
+#: thread — so spans also maintain this side registry on enter/exit.
+#: Plain dict: single-key mutations are atomic under the GIL, and each
+#: key is only ever written by its own thread.
+_ACTIVE_SPANS: dict[int, "Span"] = {}
+
 #: Monotone per-process id source; combined with the pid so ids minted in
 #: forked workers (which inherit the counter state) never collide.
 _IDS = itertools.count(1)
@@ -67,6 +76,15 @@ def _new_id() -> str:
 def current_span() -> "Span | None":
     """The innermost live :class:`Span` of this context, or None."""
     return _CURRENT.get()
+
+
+def active_span_for_thread(tid: int) -> "Span | None":
+    """The innermost live span of thread ``tid`` (any thread), or None.
+
+    The cross-thread read the sampling profiler uses; within one thread
+    prefer :func:`current_span` (contextvars-accurate under asyncio).
+    """
+    return _ACTIVE_SPANS.get(tid)
 
 
 class Tracer:
@@ -153,6 +171,7 @@ class Span:
         "pid",
         "tid",
         "_token",
+        "_prev_active",
     )
 
     def __init__(self, name: str, attrs: dict | None = None) -> None:
@@ -168,6 +187,7 @@ class Span:
         self.pid = os.getpid()
         self.tid = threading.get_ident()
         self._token = None
+        self._prev_active = None
 
     # ------------------------------------------------------------------
     # enrichment API (all safe on the no-op twin in repro.obs)
@@ -202,11 +222,18 @@ class Span:
         else:
             self.trace_id = _new_id()
         self._token = _CURRENT.set(self)
+        self._prev_active = _ACTIVE_SPANS.get(self.tid)
+        _ACTIVE_SPANS[self.tid] = self
         self.ts = _time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.dur = _time.perf_counter() - self.ts
+        if self._prev_active is not None:
+            _ACTIVE_SPANS[self.tid] = self._prev_active
+        else:
+            _ACTIVE_SPANS.pop(self.tid, None)
+        self._prev_active = None
         if self._token is not None:
             _CURRENT.reset(self._token)
             self._token = None

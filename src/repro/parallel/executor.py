@@ -48,6 +48,7 @@ from concurrent.futures.process import BrokenProcessPool
 import numpy as np
 
 from repro import obs
+from repro.obs import profile as obs_profile
 from repro._types import COUNT_DTYPE
 from repro.core.family import Invariant, Reference, Side
 from repro.core.workinfo import matrices_for_side, resolve_invariant
@@ -119,11 +120,16 @@ def _collect_begin(collect: bool) -> None:
 
     Tasks within one worker run sequentially, so resetting the worker's
     registry at task start makes the end-of-task snapshot exactly this
-    task's delta — the owner merges it through the result path.
+    task's delta — the owner merges it through the result path.  If the
+    owner was running the sampling profiler when the pool forked, the
+    worker restarts its own sampler here (fork copies the profiler
+    handle but not its thread); the samples ride the same delta under
+    :data:`repro.obs.PROFILE_DELTA_KEY`.
     """
     if collect:
         obs.reset()
         obs.enable()
+        obs_profile.maybe_resume_worker()
 
 
 def _collect_end(collect: bool):

@@ -466,6 +466,7 @@ def test_all_rule_ids_catalogued():
         "RPR004",
         "RPR005",
         "RPR006",
+        "RPR007",
     )
 
 
@@ -567,3 +568,142 @@ def test_self_scan_pragma_count_pinned():
     """
     report = analysis.analyze_paths([str(SRC_REPRO)])
     assert report.suppressed == 7
+
+
+# ----------------------------------------------------------------------
+# RPR003 — reserved ``profile.`` layer (Obs v3)
+# ----------------------------------------------------------------------
+
+
+class TestObsProfileLayerReserved:
+    def test_profile_metric_name_flagged_outside_obs(self):
+        src = """
+            from repro import obs
+
+            def f():
+                obs.inc("profile.samples")
+        """
+        (f,) = run(src, "repro.cli", rules=["RPR003"])
+        assert "reserved" in f.message
+        assert "profile" in f.message
+
+    def test_profile_span_name_flagged(self):
+        src = """
+            from repro import obs
+
+            def f():
+                with obs.span("profile.collect"):
+                    pass
+        """
+        (f,) = run(src, "repro.bench.parallel_bench", rules=["RPR003"])
+        assert "reserved" in f.message
+
+    def test_profile_fstring_prefix_flagged(self):
+        src = """
+            from repro import obs
+
+            def f(kind):
+                if obs._enabled:
+                    obs.inc(f"profile.{kind}.count")
+        """
+        (f,) = run(src, "repro.cli", rules=["RPR003"])
+        assert "reserved" in f.message
+
+    def test_profile_inside_repro_obs_exempt(self):
+        src = """
+            from repro import obs
+
+            def f():
+                obs.inc("profile.samples")
+        """
+        assert run(src, "repro.obs.profile", rules=["RPR003"]) == []
+
+    def test_profiler_like_names_in_other_layers_ok(self):
+        src = """
+            from repro import obs
+
+            def f():
+                obs.inc("bench.profiler.samples")
+        """
+        assert run(src, "repro.bench.parallel_bench", rules=["RPR003"]) == []
+
+
+# ----------------------------------------------------------------------
+# RPR007 — engine sink discipline
+# ----------------------------------------------------------------------
+
+
+class TestEngineSinkDiscipline:
+    def test_write_mode_open_in_engine_flagged(self):
+        src = """
+            def save(path, record):
+                with open(path, "a") as fh:
+                    fh.write(record)
+        """
+        (f,) = run(src, "repro.engine.drift", rules=["RPR007"])
+        assert "sink API" in f.message
+
+    def test_positional_and_keyword_modes_flagged(self):
+        src = """
+            def save(path):
+                open(path, mode="w")
+        """
+        (f,) = run(src, "repro.engine.execute", rules=["RPR007"])
+        assert f.rule == "RPR007"
+
+    def test_read_mode_open_ok(self):
+        src = """
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+
+            def load_binary(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+        """
+        assert run(src, "repro.engine.drift", rules=["RPR007"]) == []
+
+    def test_dynamic_mode_assumed_unsafe(self):
+        src = """
+            def save(path, mode):
+                open(path, mode)
+        """
+        (f,) = run(src, "repro.engine.drift", rules=["RPR007"])
+        assert f.rule == "RPR007"
+
+    def test_write_text_flagged(self):
+        src = """
+            def save(path, body):
+                path.write_text(body)
+        """
+        (f,) = run(src, "repro.engine.planner", rules=["RPR007"])
+        assert "write_text" in f.message
+
+    def test_calibration_module_allow_listed(self):
+        src = """
+            def save(path, blob):
+                with open(path, "w") as fh:
+                    fh.write(blob)
+        """
+        assert run(src, "repro.engine.calibration", rules=["RPR007"]) == []
+
+    def test_outside_engine_not_in_scope(self):
+        src = """
+            def save(path, blob):
+                with open(path, "w") as fh:
+                    fh.write(blob)
+        """
+        assert run(src, "repro.cli", rules=["RPR007"]) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def save(path, blob):\n"
+            "    with open(path, 'w') as fh:  # repro: noqa[RPR007] reviewed\n"
+            "        fh.write(blob)\n"
+        )
+        findings, supp = analysis.analyze_source(
+            src, path="fixture.py", module="repro.engine.drift",
+            rules=["RPR007"],
+        )
+        assert findings == []
+        assert supp.used == 1

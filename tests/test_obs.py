@@ -517,3 +517,162 @@ class TestInstrumentationCoverage:
         count_butterflies_blocked(g, block_size=32)
         k_tip(g, 1)
         assert len(obs.registry()) == before
+
+
+# ----------------------------------------------------------------------
+# quantile histograms (log-scale buckets, Obs v3)
+# ----------------------------------------------------------------------
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import BUCKETS_PER_OCTAVE
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_within_bucket_resolution(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        # bucket bounds are 2**(1/4) apart: ~19% worst-case resolution
+        resolution = 2 ** (1 / BUCKETS_PER_OCTAVE)
+        assert 50 / resolution <= h.quantile(0.50) <= 50 * resolution
+        assert 90 / resolution <= h.quantile(0.90) <= 90 * resolution
+        # the tail rounds UP to the observed extreme, clamped at max
+        assert 99 * 0.9 <= h.quantile(0.99) <= 100.0
+
+    def test_quantile_bounds_clamp_to_observed_range(self):
+        h = Histogram()
+        for v in (3.0, 5.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= 3.0
+        assert h.quantile(1.0) <= 7.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram()
+        assert h.quantile(0.5) is None
+        assert h.percentiles() == {"p50": None, "p90": None, "p99": None}
+
+    def test_invalid_q_rejected(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_nonpositive_values_go_to_underflow(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-2.0)
+        h.observe(4.0)
+        assert h.underflow == 2
+        # half the mass is at or below min: p50 reports the minimum
+        assert h.quantile(0.5) == -2.0
+
+    def test_as_dict_round_trips_through_json(self):
+        h = Histogram()
+        for v in (0.001, 0.5, 2.0, 1000.0, -1.0):
+            h.observe(v)
+        record = json.loads(json.dumps(h.as_dict()))
+        clone = Histogram.from_dict(record)
+        assert clone.as_dict() == h.as_dict()
+        assert clone.quantile(0.5) == h.quantile(0.5)
+
+    def test_old_record_without_buckets_stays_compatible(self):
+        # pre-v3 records carry only count/total/min/max; the scalar
+        # folds must stay bitwise-identical and quantiles degrade to None
+        old = {"type": "histogram", "count": 2, "total": 1.0,
+               "min": 0.25, "max": 0.75}
+        h = Histogram.from_dict(old)
+        assert h.count == 2
+        assert h.total == 1.0
+        assert h.min == 0.25
+        assert h.max == 0.75
+        assert h.quantile(0.5) is None
+
+    def test_render_table_shows_percentile_columns(self):
+        m = Metrics()
+        for v in (0.1, 0.2, 0.4):
+            m.observe("test.latency", v)
+        out = render_table(m)
+        assert "p50=" in out
+        assert "p90=" in out
+        assert "p99=" in out
+
+
+class TestHistogramMergeProperties:
+    """merge_dict is associative and commutative over worker deltas."""
+
+    @staticmethod
+    def _delta(values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h.as_dict()
+
+    @staticmethod
+    def _structural(record):
+        """The exactly-mergeable fields (total is float-order sensitive)."""
+        return (record["count"], record["underflow"], record["buckets"],
+                record["min"], record["max"])
+
+    @given(
+        groups=st.lists(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                max_size=8,
+            ),
+            min_size=1, max_size=5,
+        ),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_commutative_any_merge_order(self, groups, seed):
+        deltas = [self._delta(values) for values in groups]
+        ordered = Histogram()
+        for d in deltas:
+            ordered.merge_dict(d)
+        shuffled_deltas = list(deltas)
+        random.Random(seed).shuffle(shuffled_deltas)
+        shuffled = Histogram()
+        for d in shuffled_deltas:
+            shuffled.merge_dict(d)
+        a, b = ordered.as_dict(), shuffled.as_dict()
+        assert self._structural(a) == self._structural(b)
+        assert a["total"] == pytest.approx(b["total"], rel=1e-9, abs=1e-12)
+
+    @given(
+        groups=st.lists(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                max_size=6,
+            ),
+            min_size=3, max_size=3,
+        ),
+    )
+    def test_associative_pairwise_grouping(self, groups):
+        d1, d2, d3 = (self._delta(values) for values in groups)
+        left = Histogram.from_dict(d1)
+        left.merge_dict(d2)
+        left = Histogram.from_dict(left.as_dict())
+        left.merge_dict(d3)
+        inner = Histogram.from_dict(d2)
+        inner.merge_dict(d3)
+        right = Histogram.from_dict(d1)
+        right.merge_dict(inner.as_dict())
+        assert self._structural(left.as_dict()) == self._structural(
+            right.as_dict()
+        )
+
+    def test_merge_matches_direct_observation(self):
+        values = [0.01, 0.5, 3.0, 3.1, 100.0, -1.0]
+        direct = Histogram()
+        for v in values:
+            direct.observe(v)
+        merged = Histogram()
+        merged.merge_dict(self._delta(values[:3]))
+        merged.merge_dict(self._delta(values[3:]))
+        assert merged.as_dict() == direct.as_dict()

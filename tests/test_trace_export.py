@@ -258,3 +258,86 @@ class TestCliTraceOut:
             "stats", "--from-metrics", str(path), "--run", "missing",
         ]) == 2
         assert "available runs" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# native histogram exposition (log-scale buckets, Obs v3)
+# ----------------------------------------------------------------------
+class TestPrometheusHistogram:
+    def _text(self, values):
+        m = Metrics()
+        for v in values:
+            m.observe("test.latency", v)
+        return render_prometheus(m)
+
+    def test_native_histogram_type_and_buckets(self):
+        text = self._text([0.1, 0.2, 0.4, 0.8])
+        assert "# TYPE repro_test_latency histogram" in text
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_test_latency_bucket")
+        ]
+        assert bucket_lines, text
+        assert bucket_lines[-1] == 'repro_test_latency_bucket{le="+Inf"} 4'
+        # cumulative counts are monotone non-decreasing
+        counts = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        # le bounds are increasing (the +Inf line excluded)
+        bounds = [
+            float(line.split('le="', 1)[1].split('"', 1)[0])
+            for line in bucket_lines[:-1]
+        ]
+        assert bounds == sorted(bounds)
+
+    def test_round_trips_through_strict_parser(self):
+        text = self._text([0.25, 0.75])
+        samples = parse_prometheus(text)  # must not raise
+        assert samples["repro_test_latency_count"] == 2.0
+        assert samples["repro_test_latency_sum"] == 1.0
+        assert samples["repro_test_latency_min"] == 0.25
+        assert samples["repro_test_latency_max"] == 0.75
+        # the parser keys by bare name: the last bucket line (+Inf) wins
+        assert samples["repro_test_latency_bucket"] == 2.0
+
+    def test_underflow_only_histogram_falls_back_to_summary(self):
+        text = self._text([0.0, -1.0])
+        assert "# TYPE repro_test_latency summary" in text
+        assert "repro_test_latency_count 2" in text
+        parse_prometheus(text)  # still strict-parseable
+
+    def test_underflow_folds_into_cumulative_buckets(self):
+        text = self._text([-1.0, 0.5])
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_test_latency_bucket")
+        ]
+        # the one finite bucket already includes the underflow sample
+        assert bucket_lines[0].endswith(" 2")
+
+
+# ----------------------------------------------------------------------
+# /profile scrape endpoints
+# ----------------------------------------------------------------------
+class TestServeProfile:
+    def _sample(self):
+        return {
+            "ts": 1.0, "pid": 1, "tid": 2, "span": "family.count",
+            "span_id": "s1", "trace_id": "t1",
+            "stack": ["cli.py:main", "family.py:_count"],
+        }
+
+    def test_profile_endpoints(self):
+        from repro.obs import profile as obs_profile
+
+        with obs.capture():
+            obs_profile.ingest_samples([self._sample()], None)
+            with obs.serve(port=0) as srv:
+                with urllib.request.urlopen(f"{srv.url}/profile") as resp:
+                    assert resp.status == 200
+                    collapsed = resp.read().decode()
+                with urllib.request.urlopen(f"{srv.url}/profile.json") as resp:
+                    chrome = json.loads(resp.read().decode())
+            obs_profile.clear_samples()
+        counts = obs_profile.parse_collapsed(collapsed)
+        assert counts == {"span:family.count;cli.py:main;family.py:_count": 1}
+        assert chrome["traceEvents"][0]["ph"] == "P"
