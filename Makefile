@@ -18,7 +18,7 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
 
-# Static gates: the stdlib-only project analyzer (rules RPR001-RPR007,
+# Static gates: the stdlib-only project analyzer (rules RPR001-RPR008,
 # see docs/analysis.md) always runs; ruff and mypy run when installed
 # (`pip install -e .[lint]`) and are skipped with a notice otherwise so
 # `make lint` works in the leanest container.

@@ -12,6 +12,8 @@ RPR004  engine-plan purity (no plan mutation / inline member selection)
 RPR005  deprecation policy (``stacklevel>=2``, documented shim list)
 RPR006  exception discipline (no bare/broad/swallowed handlers)
 RPR007  engine sink discipline (no ad-hoc ``open()`` writes in repro.engine)
+RPR008  storage accessor discipline (no direct ``.indptr``/``.indices``
+        outside repro.storage / repro.sparsela and the sanctioned plumbing)
 
 See ``docs/analysis.md`` for the full rationale, the paper references,
 and the list of true positives each rule caught when first run.
@@ -886,6 +888,75 @@ class EngineSinkDisciplineRule(Rule):
         return True  # dynamic mode: assume the worst
 
 
+# ----------------------------------------------------------------------
+# RPR008 — storage accessor discipline
+# ----------------------------------------------------------------------
+
+class StorageAccessorDisciplineRule(Rule):
+    """Kernels read compressed structure through the accessor protocol.
+
+    The storage layer (:mod:`repro.storage`) substitutes compressed /
+    reordered / mmap-backed pattern views for the raw int64 arrays, which
+    only works because kernels ask for structure through the accessor
+    protocol (``slice`` / ``gather`` / ``panel_indices`` / ``degrees_of``
+    / ``entries`` / ``entry_offsets`` / ...) rather than touching
+    ``.indptr`` / ``.indices`` directly — a :class:`CompactPattern` has no
+    ``indices`` at all.  A direct access outside the storage and sparsela
+    packages silently pins that code path to the raw layout.
+
+    Sanctioned exceptions (array plumbing, not traversal):
+
+    - ``repro.baselines`` — independent reference implementations,
+      deliberately outside the storage abstraction;
+    - ``repro.parallel.shm`` — the byte-level shared-memory transport;
+    - ``repro.bench.cachesim`` — the locality simulator addresses raw
+      array offsets by design;
+    - the peeling fixpoints and the streaming counter, which rebuild raw
+      subgraph views in place each round (raw-only by design, matching
+      the planner's layout axis).
+    """
+
+    id = "RPR008"
+    title = "direct .indptr/.indices access outside repro.storage"
+
+    SCOPES = ("repro",)
+    ALLOWED_SCOPES = ("repro.storage", "repro.sparsela", "repro.baselines")
+    ALLOWED_MODULES = frozenset(
+        {
+            "repro.parallel.shm",
+            "repro.bench.cachesim",
+            "repro.core.stream.counter",
+            "repro.core.peeling.buckets",
+            "repro.core.peeling.decompose",
+            "repro.core.peeling.linear_algebra",
+            "repro.core.peeling.tip",
+        }
+    )
+    _BANNED_ATTRS = frozenset({"indptr", "indices"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(*self.SCOPES):
+            return
+        if ctx.in_package(*self.ALLOWED_SCOPES):
+            return
+        if ctx.module in self.ALLOWED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._BANNED_ATTRS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct .{node.attr} access outside repro.storage/"
+                    "repro.sparsela; read structure through the accessor "
+                    "protocol (slice/gather/panel_indices/degrees_of/"
+                    "entries/entry_offsets) so every storage layout can "
+                    "substitute for the raw arrays",
+                )
+
+
 #: Rule registry in catalog order.
 RULES: tuple[Rule, ...] = (
     PrivateImportRule(),
@@ -895,6 +966,7 @@ RULES: tuple[Rule, ...] = (
     DeprecationPolicyRule(),
     ExceptionDisciplineRule(),
     EngineSinkDisciplineRule(),
+    StorageAccessorDisciplineRule(),
 )
 
 ALL_RULE_IDS: tuple[str, ...] = tuple(r.id for r in RULES)

@@ -85,8 +85,9 @@ def flatten_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
 def metric_direction(name: str) -> str | None:
     """``"higher"`` / ``"lower"`` (better) or None for informational.
 
-    The *leaf* segment decides: ``ratio`` ⇒ higher-better, ``seconds`` or
-    ``overhead`` ⇒ lower-better, anything else ⇒ informational.
+    The *leaf* segment decides: ``ratio`` ⇒ higher-better, ``seconds``,
+    ``overhead`` or ``bytes`` ⇒ lower-better, anything else ⇒
+    informational.
     """
     leaf = name.rsplit(".", 1)[-1].lower()
     if name.rsplit(".", 1)[-1] in _META_KEYS or leaf in _META_KEYS:
@@ -99,6 +100,10 @@ def metric_direction(name: str) -> str | None:
     if "ratio" in leaf:
         return "higher"
     if "seconds" in leaf or "overhead" in leaf:
+        return "lower"
+    # footprint metrics (storage.publish_bytes and friends): growing the
+    # published segment is a compression regression
+    if "bytes" in leaf:
         return "lower"
     return None
 

@@ -172,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         "zero-copy shared-memory buffers on a warm process pool)",
     )
     p_count.add_argument(
+        "--storage",
+        choices=("auto", "raw", "reorder", "compact", "mmap"),
+        default="auto",
+        help="graph storage layout (auto: the cost model decides; "
+        "reorder = degree-ordered relabeling, compact = varint-compressed "
+        "indices, mmap = out-of-core column files)",
+    )
+    p_count.add_argument(
         "--blocked",
         action="store_true",
         help="use the blocked (panel) member — with --trace-out the "
@@ -199,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's round plan (kernel/block size/pool) "
         "before peeling",
+    )
+    p_peel.add_argument(
+        "--storage",
+        choices=("auto", "raw", "reorder", "compact", "mmap"),
+        default="auto",
+        help="graph storage layout; peeling mutates per-round subgraphs, "
+        "so only 'auto'/'raw' and 'reorder' (peel the degree-ordered "
+        "relabeling — the kept-vertex/edge summary is label-invariant) "
+        "are supported",
     )
 
     p_explain = sub.add_parser(
@@ -234,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pin the pool size")
     p_explain.add_argument("--block-size", type=int, default=None, metavar="B",
                            help="pin the panel width")
+    p_explain.add_argument(
+        "--storage",
+        choices=("auto", "raw", "reorder", "compact", "mmap"),
+        default="auto",
+        help="pin the storage layout (auto: raw and reorder compete on "
+        "the calibrated cost model; compact/mmap appear when pinned)",
+    )
     p_explain.add_argument(
         "--calibrate", action="store_true",
         help="measure this machine's ns/op coefficients first (persisted "
@@ -435,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser(
         "analyze",
-        help="run the project-native static analyzer (rules RPR001-RPR007)",
+        help="run the project-native static analyzer (rules RPR001-RPR008)",
     )
     p_an.add_argument(
         "paths", nargs="*", default=["src/repro"], metavar="PATH",
@@ -496,34 +520,41 @@ def _count_plan_from_args(args, g):
     """
     from repro import engine
 
+    layout = _layout_arg(args)
     if args.blocked:
         return engine.plan(
             g, "count", strategy="blocked", invariant=args.invariant,
-            block_size=args.block_size, executor="serial",
+            block_size=args.block_size, executor="serial", layout=layout,
         )
     if args.workers is not None:
         executor = args.executor if args.workers > 1 else "serial"
         return engine.plan(
             g, "count", invariant=args.invariant, strategy=args.strategy,
-            executor=executor, workers=args.workers,
+            executor=executor, workers=args.workers, layout=layout,
         )
     if args.strategy == "wedge":
         # not a member of the sequential family: plan it over the open
         # plan space so the executor/worker choice stays cost-based
         return engine.plan(
             g, "count", invariant=args.invariant, strategy="wedge",
-            block_size=args.block_size,
+            block_size=args.block_size, layout=layout,
         )
     if args.auto:  # full plan space: blocked/parallel candidates included
         return engine.plan(
             g, "count", invariant=args.invariant, strategy=args.strategy,
-            block_size=args.block_size,
+            block_size=args.block_size, layout=layout,
         )
     # default: the sequential unblocked family, planner picks the member
     return engine.plan(
         g, "count", invariant=args.invariant, strategy=args.strategy,
-        family_only=True, executor="serial",
+        family_only=True, executor="serial", layout=layout,
     )
+
+
+def _layout_arg(args):
+    """``--storage`` flag value → planner ``layout`` pin (auto → None)."""
+    value = getattr(args, "storage", "auto")
+    return None if value == "auto" else value
 
 
 def _describe_mode(plan) -> str:
@@ -572,6 +603,21 @@ def _cmd_peel(args) -> int:
     from repro import engine
 
     g = _load(args.graph)
+    layout = _layout_arg(args)
+    if layout in ("compact", "mmap"):
+        print(
+            "error: peeling mutates per-round subgraphs and needs an "
+            "in-memory raw (or reordered) graph; use --storage auto, raw "
+            "or reorder",
+            file=sys.stderr,
+        )
+        return 2
+    if layout == "reorder":
+        # peel the degree-ordered relabeling: the kept-vertex/edge summary
+        # printed below is invariant under vertex relabeling
+        from repro.storage import ReorderedCSR
+
+        g = ReorderedCSR(g).graph
     plan = engine.plan(g, args.mode, side=args.side, k=args.k)
     if args.auto:
         print(f"plan       : {plan.label} — {plan.reason}")
@@ -600,6 +646,16 @@ def _cmd_explain(args) -> int:
     if args.calibrate:
         calibration = engine.calibrate()
         print(f"calibrated this machine -> {calibration.source}")
+    layout = _layout_arg(args)
+    if layout not in (None, "raw") and args.workload not in (
+        "count", "vertex-counts"
+    ):
+        print(
+            f"error: --storage {layout} applies to the count/vertex-counts "
+            "workloads (peeling plans run on raw views)",
+            file=sys.stderr,
+        )
+        return 2
     plan = engine.plan(
         g,
         args.workload,
@@ -610,6 +666,7 @@ def _cmd_explain(args) -> int:
         block_size=args.block_size,
         side=args.side,
         k=args.k,
+        layout=layout,
         calibration=calibration,
     )
     print(engine.explain(plan, g, calibration=calibration))

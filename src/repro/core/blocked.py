@@ -50,7 +50,7 @@ from repro.core.family import (
     _resolve_invariant,
 )
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import CompressedPattern, gather_slices, panel_choose2_sum
+from repro.sparsela import CompressedPattern, panel_choose2_sum
 
 __all__ = [
     "count_butterflies_blocked",
@@ -121,18 +121,17 @@ def panel_butterflies(
     """
     if hi <= lo:
         return 0
-    indptr = pivot_major.indptr
     pivots = np.arange(lo, hi, dtype=np.int64)
     # neighbourhood sizes per pivot
-    deg = indptr[pivots + 1] - indptr[pivots]
+    deg = pivot_major.panel_degrees(lo, hi)
     if deg.sum(dtype=COUNT_DTYPE) == 0:
         return 0
     # all (pivot, other-side neighbor) incidences of the panel
-    neighbors = pivot_major.indices[indptr[lo] : indptr[hi]]
+    neighbors = pivot_major.panel_indices(lo, hi)
     owner_pivot = np.repeat(pivots, deg)
     # continue every incidence to same-side wedge endpoints
-    comp_deg = complementary.indptr[neighbors + 1] - complementary.indptr[neighbors]
-    endpoints = gather_slices(complementary.indptr, complementary.indices, neighbors)
+    comp_deg = complementary.degrees_of(neighbors)
+    endpoints = complementary.gather(neighbors)
     owners = np.repeat(owner_pivot, comp_deg)
     if obs._enabled:
         obs.observe("blocked.panel.wedges", int(endpoints.size))

@@ -27,7 +27,6 @@ import numpy as np
 
 from repro._types import COUNT_DTYPE, INDEX_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import gather_slices
 
 __all__ = [
     "pairwise_wedge_counts",
@@ -74,9 +73,7 @@ def pairwise_wedge_counts(
     out: dict[tuple[int, int], int] = {}
     n = pivot_major.major_dim
     for i in range(n):
-        endpoints = gather_slices(
-            complementary.indptr, complementary.indices, pivot_major.slice(i)
-        )
+        endpoints = complementary.gather(pivot_major.slice(i))
         if endpoints.size == 0:
             continue
         endpoints = endpoints[endpoints > i]

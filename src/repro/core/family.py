@@ -75,7 +75,7 @@ import numpy as np
 from repro import obs
 from repro._types import COUNT_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import CompressedPattern, expand_indptr, gather_slices
+from repro.sparsela import CompressedPattern
 
 __all__ = [
     "Side",
@@ -217,8 +217,7 @@ def wedge_endpoint_multiset(
     degenerate "wedges" back to the pivot itself (filtered by callers via
     the positional prefix/suffix predicate, which excludes the pivot).
     """
-    neighbors = pivot_major.slice(pivot)
-    return gather_slices(complementary.indptr, complementary.indices, neighbors)
+    return complementary.gather(pivot_major.slice(pivot))
 
 
 def _butterflies_at_pivot_adjacency(
@@ -294,17 +293,16 @@ def _butterflies_at_pivot_spmv(
     neighbors = pivot_major.slice(pivot)
     if neighbors.size == 0:
         return 0
-    indptr = pivot_major.indptr
     if reference is Reference.PREFIX:
-        lo, hi = 0, int(indptr[pivot])
+        lo, hi = pivot_major.entry_range(0, pivot)
         base = 0
     else:
-        lo, hi = int(indptr[pivot + 1]), int(indptr[-1])
+        lo, hi = pivot_major.entry_range(pivot + 1, pivot_major.major_dim)
         base = pivot + 1
     if hi <= lo:
         return 0
     marker[neighbors] = True
-    entries = pivot_major.indices[lo:hi]
+    entries = pivot_major.entries(lo, hi)
     owners = entry_major_ids[lo:hi]
     sel = marker[entries]
     marker[neighbors] = False
@@ -384,7 +382,7 @@ def _count_unblocked_body(
             if on_step is not None:
                 on_step(step, pivot, total)
     elif strategy == "spmv":
-        entry_major_ids = expand_indptr(pivot_major.indptr)
+        entry_major_ids = pivot_major.expand_major()
         marker = np.zeros(pivot_major.minor_dim, dtype=bool)
         for step, pivot in enumerate(pivot_order(n, inv.traversal)):
             total += _butterflies_at_pivot_spmv(
@@ -448,7 +446,7 @@ def has_at_least(
                 pivot_major, complementary, pivot, inv.reference, scratch
             )
     elif strategy == "spmv":
-        entry_major_ids = expand_indptr(pivot_major.indptr)
+        entry_major_ids = pivot_major.expand_major()
         marker = np.zeros(pivot_major.minor_dim, dtype=bool)
 
         def step(pivot: int) -> int:

@@ -30,7 +30,6 @@ import numpy as np
 from repro import obs
 from repro._types import COUNT_DTYPE, INDEX_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import gather_slices
 from repro.sparsela.linalg import choose2_dense
 
 __all__ = [
@@ -76,9 +75,7 @@ def vertex_butterfly_counts(graph: BipartiteGraph, side: str = "left") -> np.nda
     n = pivot_major.major_dim
     out = np.zeros(n, dtype=COUNT_DTYPE)
     for u in range(n):
-        endpoints = gather_slices(
-            complementary.indptr, complementary.indices, pivot_major.slice(u)
-        )
+        endpoints = complementary.gather(pivot_major.slice(u))
         if endpoints.size == 0:
             continue
         endpoints = endpoints[endpoints != u]
@@ -136,18 +133,14 @@ def vertex_counts_panel(
     if hi <= lo:
         return out
     n = pivot_major.major_dim
-    indptr = pivot_major.indptr
-    comp_deg = np.diff(complementary.indptr)
     pivots = np.arange(lo, hi, dtype=np.int64)
-    deg = indptr[pivots + 1] - indptr[pivots]
+    deg = pivot_major.panel_degrees(lo, hi)
     if deg.sum(dtype=COUNT_DTYPE) == 0:
         return out
-    neighbors = pivot_major.indices[indptr[lo] : indptr[hi]]
+    neighbors = pivot_major.panel_indices(lo, hi)
     owner = np.repeat(pivots, deg)
-    endpoints = gather_slices(
-        complementary.indptr, complementary.indices, neighbors
-    )
-    owners = np.repeat(owner, comp_deg[neighbors])
+    endpoints = complementary.gather(neighbors)
+    owners = np.repeat(owner, complementary.degrees_of(neighbors))
     if obs._enabled:
         obs.inc("local.panels")
         obs.observe("local.panel.wedges", int(endpoints.size))
@@ -213,23 +206,22 @@ def edge_butterfly_support(graph: BipartiteGraph) -> np.ndarray:
     # dense scratch holding c_w for the current u (reset sparsely each round)
     c = np.zeros(m, dtype=COUNT_DTYPE)
     for u in range(m):
-        nbrs = csr.row(u)
+        nbrs = csr.slice(u)
         if nbrs.size == 0:
             continue
-        endpoints = gather_slices(csc.indptr, csc.indices, nbrs)
+        endpoints = csc.gather(nbrs)
         uniq, counts = np.unique(endpoints, return_counts=True)
         c[uniq] = counts
         # for each incident edge (u, v): Σ_{w ∈ N(v)} c_w — the endpoints
         # array already holds every such w grouped by v, so segment-sum it
-        seg_lens = csc.indptr[nbrs + 1] - csc.indptr[nbrs]
+        seg_lens = csc.degrees_of(nbrs)
         vals = c[endpoints]
         csum = np.concatenate([[0], np.cumsum(vals, dtype=COUNT_DTYPE)])
         seg_ends = np.cumsum(seg_lens, dtype=INDEX_DTYPE)
         seg_starts = seg_ends - seg_lens
         sums = csum[seg_ends] - csum[seg_starts]
-        support[csr.indptr[u] : csr.indptr[u + 1]] = (
-            sums - deg_left[u] - deg_right[nbrs] + 1
-        )
+        e_lo, e_hi = csr.entry_range(u, u + 1)
+        support[e_lo:e_hi] = sums - deg_left[u] - deg_right[nbrs] + 1
         c[uniq] = 0
     return support
 
@@ -259,10 +251,9 @@ def edge_butterfly_support_blocked(
     csr, csc = graph.csr, graph.csc
     m = csr.major_dim
     support = np.zeros(csr.nnz, dtype=COUNT_DTYPE)
-    indptr = csr.indptr
     for lo in range(0, m, block_size):
         hi = min(lo + block_size, m)
-        e_lo = int(indptr[lo])
+        e_lo, _ = csr.entry_range(lo, hi)
         vals = edge_support_panel(csr, csc, lo, hi)
         support[e_lo : e_lo + len(vals)] = vals
     return support
@@ -288,19 +279,18 @@ def edge_support_panel(csr, csc, lo: int, hi: int) -> np.ndarray:
     ``csr.indices[indptr[lo]:indptr[hi]]``.
     """
     m = csr.major_dim
-    indptr = csr.indptr
-    e_lo, e_hi = int(indptr[lo]), int(indptr[hi])
+    e_lo, e_hi = csr.entry_range(lo, hi)
     out = np.zeros(e_hi - e_lo, dtype=COUNT_DTYPE)
     if e_hi == e_lo:
         return out
-    panel_nbrs = csr.indices[e_lo:e_hi]  # v of every panel edge
-    panel_deg = indptr[lo + 1 : hi + 1] - indptr[lo:hi]
+    panel_nbrs = csr.panel_indices(lo, hi)  # v of every panel edge
+    panel_deg = csr.panel_degrees(lo, hi)
     owners_u = np.repeat(
         np.arange(lo, hi, dtype=np.int64), panel_deg
     )  # u of every panel edge
     # (1) all wedge endpoints of the panel, keyed by (u_local, w)
-    wedge_w = gather_slices(csc.indptr, csc.indices, panel_nbrs)
-    wedge_deg = csc.indptr[panel_nbrs + 1] - csc.indptr[panel_nbrs]
+    wedge_w = csc.gather(panel_nbrs)
+    wedge_deg = csc.degrees_of(panel_nbrs)
     wedge_u = np.repeat(owners_u, wedge_deg)
     keys = (wedge_u - lo) * np.int64(m) + wedge_w
     uniq_keys, pair_counts = np.unique(keys, return_counts=True)

@@ -56,7 +56,7 @@ from repro.core.family import (
 )
 from repro.core.workinfo import pivot_work_estimate, spmv_scan_lengths
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import PatternCSC, PatternCSR, expand_indptr
+from repro.sparsela import PatternCSC, PatternCSR
 
 __all__ = [
     "count_butterflies_parallel",
@@ -84,9 +84,7 @@ def parallel_work_model(
         return pivot_work_estimate(pivot_major, complementary)
     # spmv: dominated by the reference-partition scan, triangular in the
     # pivot index; add the pivot's own degree (the marker scatter).
-    return spmv_scan_lengths(pivot_major, reference) + np.diff(
-        pivot_major.indptr
-    )
+    return spmv_scan_lengths(pivot_major, reference) + pivot_major.degrees()
 
 
 def balanced_ranges(work: np.ndarray, n_chunks: int) -> list[tuple[int, int]]:
@@ -214,7 +212,7 @@ def count_range(
         )
     else:  # spmv
         if entry_major_ids is None:
-            entry_major_ids = expand_indptr(pivot_major.indptr)
+            entry_major_ids = pivot_major.expand_major()
         if marker is None:
             marker = np.zeros(pivot_major.minor_dim, dtype=bool)
         for pivot in range(lo, hi):
@@ -256,7 +254,7 @@ def _worker_init(
     _WORKER["reference"] = Reference(reference_value)
     _WORKER["strategy"] = strategy
     if strategy == "spmv":
-        _WORKER["entry_major_ids"] = expand_indptr(pm.indptr)
+        _WORKER["entry_major_ids"] = pm.expand_major()
         _WORKER["marker"] = np.zeros(pm.minor_dim, dtype=bool)
     else:
         _WORKER["entry_major_ids"] = None
@@ -413,7 +411,7 @@ def _count_parallel_body(
         )
 
     if executor == "thread":
-        entry_ids = expand_indptr(pivot_major.indptr) if strategy == "spmv" else None
+        entry_ids = pivot_major.expand_major() if strategy == "spmv" else None
 
         def run(bounds):
             lo, hi = bounds
@@ -437,11 +435,11 @@ def _count_parallel_body(
         side_e.value,
         reference.value,
         strategy,
-        pivot_major.indptr,
-        pivot_major.indices,
+        pivot_major.entry_offsets(),
+        pivot_major.entries(0, pivot_major.nnz),
         pivot_major.shape,
-        complementary.indptr,
-        complementary.indices,
+        complementary.entry_offsets(),
+        complementary.entries(0, complementary.nnz),
         complementary.shape,
     )
     with cf.ProcessPoolExecutor(
@@ -534,11 +532,11 @@ def vertex_butterfly_counts_parallel(
         side_value,
         Reference.SUFFIX.value,  # unused by the vertex kernel
         "adjacency",
-        pivot_major.indptr,
-        pivot_major.indices,
+        pivot_major.entry_offsets(),
+        pivot_major.entries(0, pivot_major.nnz),
         pivot_major.shape,
-        complementary.indptr,
-        complementary.indices,
+        complementary.entry_offsets(),
+        complementary.entries(0, complementary.nnz),
         complementary.shape,
     )
     with cf.ProcessPoolExecutor(

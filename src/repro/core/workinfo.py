@@ -82,10 +82,16 @@ def pivot_work_estimate(pivot_major, complementary) -> np.ndarray:
     fetches for pivot p — the dominant cost of those strategies, and the
     weight both the parallel range balancer and the blocked work-budget
     panels use.
+
+    Reads both patterns only through the storage accessor protocol, so it
+    runs directly on any :mod:`repro.storage` view — in particular a
+    :class:`~repro.storage.reorder.ReorderedCSR`'s relabeled patterns,
+    with no inverse-permuted index copy materialised on the way.
     """
-    comp_deg = np.diff(complementary.indptr)
-    per_entry = comp_deg[pivot_major.indices]
-    return segment_sums(per_entry, pivot_major.indptr)
+    per_entry = complementary.degrees_of(
+        pivot_major.entries(0, pivot_major.nnz)
+    )
+    return segment_sums(per_entry, pivot_major.entry_offsets())
 
 
 def wedge_work_prefix(pivot_major, complementary) -> np.ndarray:
@@ -121,8 +127,8 @@ def touched_wedge_work(
     """
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
-    deg_left = np.diff(graph.csr.indptr)
-    deg_right = np.diff(graph.csc.indptr)
+    deg_left = graph.csr.degrees()
+    deg_right = graph.csc.degrees()
     work = 0
     if rows.size:
         work += int(deg_left[rows].sum(dtype=COUNT_DTYPE))
@@ -140,7 +146,7 @@ def spmv_scan_lengths(pivot_major, reference: Reference) -> np.ndarray:
     in the pivot index, not uniform: ``indptr[p]`` entries for the prefix
     reference, ``nnz − indptr[p+1]`` for the suffix.
     """
-    indptr = np.asarray(pivot_major.indptr, dtype=np.int64)
+    indptr = np.asarray(pivot_major.entry_offsets(), dtype=np.int64)
     if reference is Reference.PREFIX:
         return indptr[:-1].copy()
     nnz = int(indptr[-1]) if indptr.size else 0

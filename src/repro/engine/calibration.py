@@ -80,6 +80,14 @@ DEFAULT_COEFFICIENTS: dict = {
     "stream_batch_ns": 1.5e6,
     "parallel_dispatch_ns": 2.5e6,
     "parallel_efficiency": 0.7,
+    # storage axis: one-off cost of building the degree-reordered layout
+    # (per edge: two degree sorts + relabel + recompression of both
+    # views), the multiplicative discount the reordered layout earns on
+    # the panel kernels' per-op cost (cache locality), and the varint
+    # decode cost per fetched endpoint of the compact layout
+    "reorder_ns_per_edge": 40.0,
+    "reorder_gain": 0.85,
+    "decode_ns_per_edge": 6.0,
 }
 
 
@@ -130,6 +138,21 @@ class CalibrationTable:
     @property
     def parallel_efficiency(self) -> float:
         return float(self.coefficients["parallel_efficiency"])
+
+    @property
+    def reorder_ns_per_edge(self) -> float:
+        """One-off build cost of the degree-reordered layout, per edge."""
+        return float(self.coefficients["reorder_ns_per_edge"])
+
+    @property
+    def reorder_gain(self) -> float:
+        """Per-op cost multiplier (< 1 is a win) under the reordered layout."""
+        return float(self.coefficients["reorder_gain"])
+
+    @property
+    def decode_ns_per_edge(self) -> float:
+        """Varint decode cost per fetched endpoint of the compact layout."""
+        return float(self.coefficients["decode_ns_per_edge"])
 
     @property
     def origin(self) -> str:
@@ -339,6 +362,42 @@ def calibrate(
         b = 0.0
     coeffs["ns_per_op"]["stream"] = max(a * 1e9, 0.05)
     coeffs["stream_batch_ns"] = max(b * 1e9, 10000.0)
+
+    # storage axis: the reorder build cost and per-op gain need a graph
+    # whose index working set exceeds the last-level cache for the
+    # locality effect to show — the small calibration graphs can't, so a
+    # dedicated (one-shot, still sub-second) skewed graph measures them
+    from repro.storage import CompactCSR, ReorderedCSR
+
+    skewed = power_law_bipartite(20_000, 30_000, 150_000, seed=16)
+    t_build = _best_of(lambda: ReorderedCSR(skewed), repeats)
+    coeffs["reorder_ns_per_edge"] = max(
+        t_build / max(skewed.n_edges, 1) * 1e9, 1.0
+    )
+    reordered = ReorderedCSR(skewed)
+    t_raw = _best_of(
+        lambda: count_butterflies_blocked(skewed, 2, block_size=256), repeats
+    )
+    t_re = _best_of(
+        lambda: count_butterflies_blocked(reordered, 2, block_size=256), repeats
+    )
+    if t_raw > 0:
+        # clamp: the gain is a second-order locality effect and a noisy
+        # ratio must not convince the planner reorder halves (or doubles)
+        # kernel time
+        coeffs["reorder_gain"] = min(max(t_re / t_raw, 0.6), 1.25)
+
+    # compact decode: the per-endpoint surcharge over the raw layout
+    compact = CompactCSR(heavy)
+    t_raw_h = _best_of(
+        lambda: count_butterflies_blocked(heavy, 2, block_size=block), repeats
+    )
+    t_compact = _best_of(
+        lambda: count_butterflies_blocked(compact, 2, block_size=block), repeats
+    )
+    coeffs["decode_ns_per_edge"] = max(
+        (t_compact - t_raw_h) / max(wp_h.total_ops, 1) * 1e9, 0.05
+    )
 
     table = CalibrationTable(coefficients=coeffs, calibrated=True)
     if persist:

@@ -115,7 +115,26 @@ def _dispatch_stream(
     return stats
 
 
+def _storage_view(the_plan: Plan, graph):
+    """The graph as seen through the plan's storage layout.
+
+    ``layout="raw"`` (and a caller who already hands us a
+    :class:`~repro.storage.GraphStorage` — e.g. an out-of-core
+    :class:`~repro.storage.MmapCSR`) passes through untouched; otherwise
+    the layout is built here, which is exactly the build cost the
+    planner's estimate already charged (``reorder_ns_per_edge·nnz``).
+    """
+    if the_plan.layout == "raw":
+        return graph
+    from repro.storage import GraphStorage, resolve_storage
+
+    if isinstance(graph, GraphStorage):
+        return graph
+    return resolve_storage(graph, the_plan.layout)
+
+
 def _dispatch_count(the_plan: Plan, graph: BipartiteGraph) -> int:
+    graph = _storage_view(the_plan, graph)
     if the_plan.strategy == "blocked":
         from repro.core.blocked import count_butterflies_blocked
 
@@ -152,17 +171,25 @@ def _dispatch_count(the_plan: Plan, graph: BipartiteGraph) -> int:
 
 
 def _dispatch_vertex_counts(the_plan: Plan, graph: BipartiteGraph):
+    view = _storage_view(the_plan, graph)
     if the_plan.workers > 1 or the_plan.executor != "serial":
         from repro.core.parallel import vertex_butterfly_counts_parallel
 
-        return vertex_butterfly_counts_parallel(
-            graph,
+        counts = vertex_butterfly_counts_parallel(
+            view,
             side=the_plan.side,
             n_workers=the_plan.workers,
             executor=the_plan.executor,
         )
-    from repro.core.local_counts import vertex_butterfly_counts_blocked
+    else:
+        from repro.core.local_counts import vertex_butterfly_counts_blocked
 
-    return vertex_butterfly_counts_blocked(
-        graph, side=the_plan.side, block_size=the_plan.block_size or 128
-    )
+        counts = vertex_butterfly_counts_blocked(
+            view, side=the_plan.side, block_size=the_plan.block_size or 128
+        )
+    if view is not graph:
+        # a layout the engine built here: map the per-vertex vector back
+        # to the caller's vertex ids (identity for every layout but
+        # reorder, whose inverse permutation lives on the view)
+        counts = view.vertex_values_to_user(counts, the_plan.side)
+    return counts

@@ -56,6 +56,11 @@ COUNT_STRATEGIES: tuple[str, ...] = (
 #: :func:`repro.core.parallel.count_butterflies_parallel`).
 EXECUTORS: tuple[str, ...] = ("serial", "shared", "process", "thread")
 
+#: Storage layouts a plan may select — mirrors
+#: :data:`repro.storage.LAYOUTS` (kept literal here so the plan record
+#: has no import edge into the storage package).
+LAYOUTS: tuple[str, ...] = ("raw", "reorder", "compact", "mmap")
+
 
 @dataclass(frozen=True)
 class Plan:
@@ -76,6 +81,9 @@ class Plan:
     invariant: int | None = None
     #: compressed layout the traversal is pivot-major in: "csc" or "csr"
     storage: str = "csc"
+    #: graph storage layout the kernels read (:data:`LAYOUTS`): raw int64
+    #: arrays, degree-reordered, varint-compressed, or mmap-backed
+    layout: str = "raw"
     #: one of :data:`COUNT_STRATEGIES` for counts; "blocked" for the
     #: panel kernels behind per-vertex / peeling workloads
     strategy: str = "adjacency"
@@ -116,6 +124,10 @@ class Plan:
             raise ValueError(f"invariant must be 1..8, got {self.invariant}")
         if self.side not in ("left", "right"):
             raise ValueError(f"side must be 'left' or 'right', got {self.side!r}")
+        if self.layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {self.layout!r}; expected one of {LAYOUTS}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +141,8 @@ class Plan:
         bits.append(self.strategy)
         if self.strategy == "blocked" and self.block_size:
             bits.append(f"b{self.block_size}")
+        if self.layout != "raw":
+            bits.append(self.layout)
         if self.workers > 1:
             bits.append(f"{self.executor}x{self.workers}")
         else:
@@ -156,6 +170,7 @@ class Plan:
             "workload": self.workload,
             "invariant": self.invariant,
             "storage": self.storage,
+            "layout": self.layout,
             "strategy": self.strategy,
             "executor": self.executor,
             "workers": self.workers,

@@ -40,6 +40,7 @@ from repro.engine.calibration import CalibrationTable, load_calibration
 from repro.engine.plan import (
     COUNT_STRATEGIES,
     EXECUTORS,
+    LAYOUTS,
     STREAM_STRATEGIES,
     WORKLOADS,
     Plan,
@@ -154,6 +155,7 @@ def candidate_plans(
     side: str | None = None,
     k: int | None = None,
     batch: tuple | None = None,
+    layout: str | None = None,
     family_only: bool = False,
     calibration: CalibrationTable | None = None,
 ) -> list[Plan]:
@@ -175,6 +177,15 @@ def candidate_plans(
         raise ValueError(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}"
         )
+    if layout is not None and layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown layout {layout!r}; expected one of {LAYOUTS}"
+        )
+    if layout not in (None, "raw") and workload not in ("count", "vertex-counts"):
+        raise ValueError(
+            f"the storage-layout axis applies to 'count'/'vertex-counts' "
+            f"plans; workload {workload!r} runs on raw views"
+        )
     cal = calibration or load_calibration()
     budget = budget if budget is not None else DEFAULT_PLAN_BLOCK_BUDGET
     if workload == "stream_apply":
@@ -191,12 +202,12 @@ def candidate_plans(
     if workload == "count":
         return _count_candidates(
             graph, cal, budget, invariant, strategy, executor, workers,
-            block_size, family_only,
+            block_size, family_only, layout,
         )
     if workload == "vertex-counts":
         return _vertex_candidates(
             graph, cal, budget, executor, workers, block_size,
-            side or "left", rounds=1, k=None,
+            side or "left", rounds=1, k=None, layout=layout,
         )
     if workload == "tip":
         return _vertex_candidates(
@@ -213,9 +224,49 @@ def _pool_workers(workers: int | None) -> int:
     return min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS)
 
 
+def _layout_rows(
+    base: Plan, work: _SideWork, cal: CalibrationTable, layout: str | None
+) -> list[Plan]:
+    """Expand one raw candidate into its storage-layout variants.
+
+    ``layout=None`` keeps the auto axis: raw competes against reorder
+    (one-off relabel cost plus the calibrated per-op locality gain), so
+    reordering wins exactly when the modeled kernel time dwarfs the
+    ``reorder_ns_per_edge·nnz`` build.  Compact (per-endpoint decode
+    surcharge — a footprint play, never a wall-clock win) and mmap
+    (out-of-core) are pin-only; mmap is additionally serial-only, since
+    an out-of-core graph has no business being copied into a shm segment.
+    """
+    rows: list[Plan] = []
+    build = work.nnz * cal.reorder_ns_per_edge * 1e-9
+    if layout in (None, "raw"):
+        rows.append(base)
+    if layout in (None, "reorder"):
+        est = build + base.est_seconds * cal.reorder_gain
+        rows.append(base.with_(
+            layout="reorder", est_seconds=est,
+            reason=f"degree-reordered layout: ~{cal.reorder_gain:.2f}x "
+                   f"kernel cost after a {build * 1e3:.2f} ms relabel",
+        ))
+    if layout == "compact":
+        est = base.est_seconds + base.modeled_ops * cal.decode_ns_per_edge * 1e-9
+        rows.append(base.with_(
+            layout="compact", est_seconds=est,
+            reason="varint/delta-compressed indices decoded per panel: "
+                   "smaller footprint, per-endpoint decode surcharge",
+        ))
+    if layout == "mmap" and base.executor == "serial":
+        rows.append(base.with_(
+            layout="mmap",
+            reason="mmap-backed column files: out-of-core blocked path, "
+                   "page cache does the tiering",
+        ))
+    return rows
+
+
 def _count_candidates(
     graph, cal, budget, invariant, strategy, executor, workers,
-    block_size, family_only,
+    block_size, family_only, layout=None,
 ) -> list[Plan]:
     invariants = (
         [resolve_invariant(invariant).number]
@@ -242,8 +293,9 @@ def _count_candidates(
     pool_kind = executor if executor not in (None, "serial") else "shared"
 
     out: list[Plan] = []
+    works: dict[int, _SideWork] = {}
     for number in invariants:
-        work = _SideWork(graph, number)
+        work = works[number] = _SideWork(graph, number)
         inv = work.invariant
         side = "right" if inv.storage == "csc" else "left"
         for strat in strategies:
@@ -319,12 +371,19 @@ def _count_candidates(
                            f"{serial_est * 1e3:.2f} ms vs dispatch overhead "
                            f"{cal.parallel_dispatch_ns * 1e-6:.2f} ms",
                 ))
-    return out
+    if family_only and layout is None:
+        return out  # count_butterflies' contract: raw views unless pinned
+    expanded: list[Plan] = []
+    for cand in out:
+        expanded.extend(
+            _layout_rows(cand, works[cand.invariant], cal, layout)
+        )
+    return expanded
 
 
 def _vertex_candidates(
     graph, cal, budget, executor, workers, block_size, side,
-    rounds=1, k=None, workload="vertex-counts",
+    rounds=1, k=None, workload="vertex-counts", layout=None,
 ) -> list[Plan]:
     # pivot side of the per-vertex kernel == the counted side
     number = 6 if side == "left" else 2  # rows ↔ CSR, columns ↔ CSC
@@ -356,7 +415,12 @@ def _vertex_candidates(
             modeled_ops=work.adjacency_ops * rounds, est_seconds=est,
             reason=f"warm {pool_kind} pool amortised across fixpoint rounds",
         ))
-    return out
+    if workload != "vertex-counts":
+        return out  # peeling rounds mutate views in place: raw-only
+    expanded: list[Plan] = []
+    for cand in out:
+        expanded.extend(_layout_rows(cand, work, cal, layout))
+    return expanded
 
 
 def _wing_candidates(graph, cal, budget, block_size, k) -> list[Plan]:
@@ -465,6 +529,7 @@ def plan(
     side: str | None = None,
     k: int | None = None,
     batch: tuple | None = None,
+    layout: str | None = None,
     family_only: bool = False,
     calibration: CalibrationTable | None = None,
 ) -> Plan:
@@ -484,14 +549,14 @@ def plan(
             graph, workload, budget=budget, invariant=invariant,
             strategy=strategy, executor=executor, workers=workers,
             block_size=block_size, side=side, k=k, batch=batch,
-            family_only=family_only, calibration=cal,
+            layout=layout, family_only=family_only, calibration=cal,
         )
         if not cands:  # fully over-constrained (e.g. executor="serial",
             # workers=4): fall back to an unconstrained table
             cands = candidate_plans(
                 graph, workload, budget=budget, invariant=invariant,
-                k=k, side=side, batch=batch, family_only=family_only,
-                calibration=cal,
+                k=k, side=side, batch=batch, layout=layout,
+                family_only=family_only, calibration=cal,
             )
         best = min(cands, key=lambda c: c.est_seconds)
         chosen = best.with_(
@@ -508,6 +573,7 @@ def plan(
                 chosen=chosen.label,
                 invariant=chosen.invariant,
                 strategy=chosen.strategy,
+                layout=chosen.layout,
                 executor=chosen.executor,
                 workers=chosen.workers,
                 modeled_ops=chosen.modeled_ops,
@@ -549,7 +615,7 @@ def explain(
     lines.append(f"calibration: {cal.origin}")
     cands = list(the_plan.candidates) or [the_plan]
     cands.sort(key=lambda c: c.est_seconds)
-    header = ("", "candidate", "inv", "storage", "executor",
+    header = ("", "candidate", "inv", "storage", "layout", "executor",
               "modeled ops", "est ms")
     rows = []
     for cand in cands:
@@ -559,6 +625,7 @@ def explain(
             cand.label,
             str(cand.invariant) if cand.invariant is not None else "-",
             cand.storage,
+            cand.layout,
             f"{cand.executor}x{cand.workers}",
             f"{cand.modeled_ops:,}",
             f"{cand.est_ms:.3f}",
@@ -586,4 +653,5 @@ def _same_decision(a: Plan, b: Plan) -> bool:
         and a.workers == b.workers
         and a.block_size == b.block_size
         and a.side == b.side
+        and a.layout == b.layout
     )

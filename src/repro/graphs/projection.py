@@ -17,7 +17,6 @@ import numpy as np
 
 from repro._types import COUNT_DTYPE
 from repro.graphs.bipartite import BipartiteGraph
-from repro.sparsela import gather_slices
 
 __all__ = ["project", "count_from_projection", "is_butterfly_free"]
 
@@ -68,9 +67,7 @@ def is_butterfly_free(graph: BipartiteGraph) -> bool:
         pivot_major, complementary = csc, csr
     n = pivot_major.major_dim
     for i in range(n):
-        endpoints = gather_slices(
-            complementary.indptr, complementary.indices, pivot_major.slice(i)
-        )
+        endpoints = complementary.gather(pivot_major.slice(i))
         if endpoints.size == 0:
             continue
         endpoints = endpoints[endpoints > i]

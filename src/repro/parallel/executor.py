@@ -54,7 +54,6 @@ from repro.core.family import Invariant, Reference, Side
 from repro.core.workinfo import matrices_for_side, resolve_invariant
 from repro.graphs.bipartite import BipartiteGraph
 from repro.parallel.shm import SharedGraphBuffers, attach_graph
-from repro.sparsela import expand_indptr
 
 __all__ = ["ButterflyExecutor", "get_default_executor", "shutdown_default_executors"]
 
@@ -103,7 +102,7 @@ def _strategy_state(entry, pivot_major, strategy: str, side_value):
             state = (np.zeros(pivot_major.major_dim, dtype=COUNT_DTYPE), None)
         elif strategy == "spmv":
             state = (
-                expand_indptr(pivot_major.indptr),
+                pivot_major.expand_major(),
                 np.zeros(pivot_major.minor_dim, dtype=bool),
             )
         elif strategy == "wedge":
@@ -628,14 +627,14 @@ class ButterflyExecutor:
         if self.n_workers == 1:
             for lo, hi in ranges:
                 vals = edge_support_panel(csr, csc, lo, hi)
-                e_lo = int(csr.indptr[lo])
+                e_lo, _ = csr.entry_range(lo, hi)
                 support[e_lo : e_lo + len(vals)] = vals
             return support
         meta = self._publish(graph).meta
         collect = obs.is_enabled()
         tasks = [(meta, lo, hi, collect) for lo, hi in ranges]
         for lo, vals, delta in self._map(_shm_edge_support_range, tasks):
-            e_lo = int(csr.indptr[lo])
+            e_lo, _ = csr.entry_range(lo, lo + 1)
             support[e_lo : e_lo + len(vals)] = vals
             if delta:
                 obs.merge_snapshot(delta, parent=self._last_dispatch)

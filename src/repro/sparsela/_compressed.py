@@ -178,6 +178,56 @@ class CompressedPattern:
         """Number of entries in each major slice."""
         return np.diff(self.indptr)
 
+    # ------------------------------------------------------------------
+    # storage protocol (the accessor surface the kernels are written to)
+    # ------------------------------------------------------------------
+    # Everything in :mod:`repro.core` reads compressed structure through
+    # these methods rather than touching ``.indptr`` / ``.indices``
+    # directly (analyzer rule RPR008), so alternative layouts — the
+    # delta/varint-compressed :class:`repro.storage.compact.CompactPattern`
+    # in particular — can stand in for a raw pattern without the kernels
+    # knowing.  For the raw layout they are thin views; none of them copy
+    # beyond what the expression requires.
+
+    def degrees_of(self, major_ids: np.ndarray) -> np.ndarray:
+        """Slice lengths of the given major ids (vectorised degree lookup)."""
+        major_ids = np.asarray(major_ids)
+        return self.indptr[major_ids + 1] - self.indptr[major_ids]
+
+    def panel_degrees(self, lo: int, hi: int) -> np.ndarray:
+        """Slice lengths of the contiguous major range ``[lo, hi)``."""
+        return self.indptr[lo + 1 : hi + 1] - self.indptr[lo:hi]
+
+    def panel_indices(self, lo: int, hi: int) -> np.ndarray:
+        """All minor ids of major slices ``[lo, hi)``, concatenated."""
+        return self.indices[self.indptr[lo] : self.indptr[hi]]
+
+    def gather(self, major_ids: np.ndarray) -> np.ndarray:
+        """Concatenated minor ids of the given major slices (with repeats).
+
+        ``gather([a, b])`` is ``concat(slice(a), slice(b))`` — the wedge
+        continuation gather every counting kernel is built on.
+        """
+        from repro.sparsela.kernels import gather_slices
+
+        return gather_slices(self.indptr, self.indices, major_ids)
+
+    def entry_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Stored-entry offsets ``(start, stop)`` of major range ``[lo, hi)``."""
+        return int(self.indptr[lo]), int(self.indptr[hi])
+
+    def entries(self, start: int, stop: int) -> np.ndarray:
+        """Minor ids of stored entries ``[start, stop)`` (entry-indexed)."""
+        return self.indices[start:stop]
+
+    def entry_offsets(self) -> np.ndarray:
+        """The major-axis offset vector (length ``major_dim + 1``).
+
+        Returned for *reading* (prefix-sum bookkeeping, segment reductions);
+        treat it as immutable.
+        """
+        return self.indptr
+
     def minor_degrees(self) -> np.ndarray:
         """Number of entries per minor id (degree along the other axis)."""
         return np.bincount(self.indices, minlength=self.minor_dim).astype(

@@ -1,0 +1,308 @@
+"""``CompactCSR`` — delta/varint-compressed index storage.
+
+Adjacency lists are strictly increasing within each slice, so an index
+array compresses well as *first value + gaps*, each written as an LEB128
+varint (7 payload bits per byte, high bit = continuation).  On graphs with
+locality-friendly labellings the gaps are small and most entries fit in
+one or two bytes, shrinking ``indices`` 3–6× — which matters twice: the
+shared-memory publication footprint (measured as ``storage.publish_bytes``
+in bench) and the working set streamed through the cache.
+
+The compressed view, :class:`CompactPattern`, implements the *same*
+accessor protocol as :class:`~repro.sparsela.CompressedPattern` (``slice``
+/ ``gather`` / ``panel_indices`` / ``degrees_of`` / ``entries`` / ...), so
+the blocked and wedge kernels run on it unchanged — each panel gather
+decodes just the rows it touches into fresh scratch arrays, never the
+whole matrix.  Both codec directions are whole-array NumPy passes (at most
+one pass per varint byte-class, ≤ 10), no per-entry Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import INDEX_DTYPE, as_index_array
+from repro.graphs.bipartite import BipartiteGraph
+from repro.storage.base import GraphStorage
+
+__all__ = [
+    "CompactCSR",
+    "CompactPattern",
+    "encode_varint_deltas",
+    "decode_varint_deltas",
+]
+
+_PAYLOAD_BITS = np.uint64(0x7F)
+_CONT_BIT = np.uint8(0x80)
+
+
+def encode_varint_deltas(
+    indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compress ``(indptr, indices)`` into ``(payload, byte_offsets)``.
+
+    Per major slice the first index is stored absolute and the rest as
+    strictly-positive gaps, each as an LEB128 varint.  ``byte_offsets`` has
+    the same length as ``indptr`` and delimits each slice's bytes inside
+    ``payload`` (so slices decode independently).
+    """
+    indptr = as_index_array(indptr)
+    indices = as_index_array(indices)
+    nnz = indices.size
+    if nnz == 0:
+        return (
+            np.zeros(0, dtype=np.uint8),
+            np.zeros(len(indptr), dtype=INDEX_DTYPE),
+        )
+    values = indices.astype(np.uint64)
+    deltas = np.empty_like(values)
+    deltas[0] = values[0]
+    np.subtract(values[1:], values[:-1], out=deltas[1:])
+    lengths = np.diff(indptr)
+    slice_starts = indptr[:-1][lengths > 0]
+    deltas[slice_starts] = values[slice_starts]  # absolute first index
+    # varint byte count per delta: one pass per byte-class
+    n_bytes = np.ones(nnz, dtype=INDEX_DTYPE)
+    for k in range(1, 10):
+        n_bytes[deltas >= np.uint64(1) << np.uint64(7 * k)] = k + 1
+    ends = np.cumsum(n_bytes)
+    starts = ends - n_bytes
+    payload = np.zeros(int(ends[-1]), dtype=np.uint8)
+    for j in range(int(n_bytes.max())):
+        sel = n_bytes > j
+        chunk = (deltas[sel] >> np.uint64(7 * j)) & _PAYLOAD_BITS
+        cont = (n_bytes[sel] - 1 > j).astype(np.uint8) << 7
+        payload[starts[sel] + j] = chunk.astype(np.uint8) | cont
+    entry_byte_ends = np.zeros(nnz + 1, dtype=INDEX_DTYPE)
+    entry_byte_ends[1:] = ends
+    byte_offsets = entry_byte_ends[indptr]
+    return payload, byte_offsets
+
+
+def decode_varint_deltas(
+    payload: np.ndarray, seg_lengths: np.ndarray
+) -> np.ndarray:
+    """Decode concatenated varint segments back to absolute int64 indices.
+
+    ``payload`` holds whole encoded segments back-to-back; ``seg_lengths``
+    gives the *entry* count of each segment (so the per-segment prefix sums
+    that undo the delta coding can be cut in one vectorised pass).
+    """
+    seg_lengths = np.asarray(seg_lengths, dtype=INDEX_DTYPE)
+    total = int(seg_lengths.sum()) if seg_lengths.size else 0
+    if total == 0:
+        return np.zeros(0, dtype=INDEX_DTYPE)
+    data = (payload & 0x7F).astype(np.uint64)
+    terminal = (payload & _CONT_BIT) == 0
+    is_start = np.empty(payload.size, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = terminal[:-1]
+    start_pos = np.flatnonzero(is_start)
+    if start_pos.size != total:
+        raise ValueError(
+            f"payload decodes to {start_pos.size} values, expected {total}"
+        )
+    run_lengths = np.diff(np.append(start_pos, payload.size))
+    pos_in_value = (
+        np.arange(payload.size, dtype=np.int64)
+        - np.repeat(start_pos, run_lengths)
+    )
+    deltas = np.add.reduceat(
+        data << (np.uint64(7) * pos_in_value.astype(np.uint64)), start_pos
+    )
+    # undo delta coding: cumulative sum, re-based at each segment start
+    csum = np.cumsum(deltas)
+    nonempty = seg_lengths > 0
+    seg_starts = np.zeros(seg_lengths.size, dtype=INDEX_DTYPE)
+    np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
+    seg_starts = seg_starts[nonempty]
+    base = csum[seg_starts] - deltas[seg_starts]
+    out = csum - np.repeat(base, seg_lengths[nonempty])
+    return out.astype(INDEX_DTYPE)
+
+
+class CompactPattern:
+    """A varint/delta-compressed compressed-pattern view.
+
+    Stores the raw ``indptr`` (offset bookkeeping stays O(1)) plus the
+    compressed ``payload`` / ``byte_offsets`` pair, and answers the full
+    accessor protocol of :class:`~repro.sparsela.CompressedPattern` by
+    decoding only the slices each call touches.  Not a substitute for the
+    per-pivot ``spmv`` scans (which would decode the whole matrix per
+    pivot); the planner restricts the compact layout to the panel kernels.
+    """
+
+    MAJOR_AXIS: int = 0
+
+    __slots__ = ("indptr", "payload", "byte_offsets", "shape", "__weakref__")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        payload: np.ndarray,
+        byte_offsets: np.ndarray,
+        shape: tuple[int, int],
+        major_axis: int | None = None,
+    ) -> None:
+        self.indptr = as_index_array(indptr)
+        self.payload = np.ascontiguousarray(payload, dtype=np.uint8)
+        self.byte_offsets = as_index_array(byte_offsets)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if major_axis is not None:
+            if major_axis not in (0, 1):
+                raise ValueError(f"major_axis must be 0 or 1, got {major_axis}")
+            # per-instance override is impossible with __slots__; the
+            # factory builds the right subclass instead
+            if major_axis != self.MAJOR_AXIS:
+                raise ValueError(
+                    f"{type(self).__name__} has MAJOR_AXIS="
+                    f"{self.MAJOR_AXIS}, got {major_axis}"
+                )
+
+    @classmethod
+    def from_pattern(cls, pattern) -> "CompactPattern":
+        """Compress a raw :class:`~repro.sparsela.CompressedPattern`."""
+        klass = CompactPattern if pattern.MAJOR_AXIS == 0 else CompactPatternMinor
+        payload, byte_offsets = encode_varint_deltas(
+            pattern.entry_offsets(), pattern.entries(0, pattern.nnz)
+        )
+        return klass(pattern.entry_offsets(), payload, byte_offsets, pattern.shape)
+
+    def to_pattern(self):
+        """Decompress back to the equivalent raw pattern (tests, shm attach)."""
+        from repro.sparsela import PatternCSC, PatternCSR
+
+        klass = PatternCSR if self.MAJOR_AXIS == 0 else PatternCSC
+        return klass(self.indptr, self.panel_indices(0, self.major_dim), self.shape)
+
+    # -- dimensions ----------------------------------------------------
+    @property
+    def major_dim(self) -> int:
+        return self.shape[self.MAJOR_AXIS]
+
+    @property
+    def minor_dim(self) -> int:
+        return self.shape[1 - self.MAJOR_AXIS]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1]) if self.indptr.size else 0
+
+    # -- accessor protocol ---------------------------------------------
+    def slice(self, major_id: int) -> np.ndarray:
+        return self.panel_indices(major_id, major_id + 1)
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def degrees_of(self, major_ids: np.ndarray) -> np.ndarray:
+        major_ids = np.asarray(major_ids)
+        return self.indptr[major_ids + 1] - self.indptr[major_ids]
+
+    def panel_degrees(self, lo: int, hi: int) -> np.ndarray:
+        return self.indptr[lo + 1 : hi + 1] - self.indptr[lo:hi]
+
+    def panel_indices(self, lo: int, hi: int) -> np.ndarray:
+        chunk = self.payload[self.byte_offsets[lo] : self.byte_offsets[hi]]
+        return decode_varint_deltas(chunk, self.panel_degrees(lo, hi))
+
+    def gather(self, major_ids: np.ndarray) -> np.ndarray:
+        from repro.sparsela.kernels import gather_slices
+
+        major_ids = np.asarray(major_ids, dtype=INDEX_DTYPE)
+        chunk = gather_slices(self.byte_offsets, self.payload, major_ids)
+        return decode_varint_deltas(chunk, self.degrees_of(major_ids))
+
+    def entry_range(self, lo: int, hi: int) -> tuple[int, int]:
+        return int(self.indptr[lo]), int(self.indptr[hi])
+
+    def entries(self, start: int, stop: int) -> np.ndarray:
+        if stop <= start:
+            return np.zeros(0, dtype=INDEX_DTYPE)
+        # decode the covering slices, then trim to the entry range
+        lo = int(np.searchsorted(self.indptr, start, side="right")) - 1
+        hi = int(np.searchsorted(self.indptr, stop, side="left"))
+        hi = max(hi, lo + 1)
+        decoded = self.panel_indices(lo, hi)
+        offset = int(self.indptr[lo])
+        return decoded[start - offset : stop - offset]
+
+    def entry_offsets(self) -> np.ndarray:
+        return self.indptr
+
+    def expand_major(self) -> np.ndarray:
+        from repro.sparsela import expand_indptr
+
+        return expand_indptr(self.indptr)
+
+    def minor_degrees(self) -> np.ndarray:
+        out = np.zeros(self.minor_dim, dtype=INDEX_DTYPE)
+        for lo in range(0, self.major_dim, 4096):
+            hi = min(lo + 4096, self.major_dim)
+            chunk = self.panel_indices(lo, hi)
+            if chunk.size:
+                out += np.bincount(chunk, minlength=self.minor_dim)
+        return out
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def compression_ratio(self) -> float:
+        """Raw ``indices`` bytes over payload bytes (> 1 means it shrank)."""
+        raw = self.nnz * np.dtype(INDEX_DTYPE).itemsize
+        return raw / self.payload.nbytes if self.payload.nbytes else 1.0
+
+    def validate(self) -> None:
+        """Decode everything and check against the raw-pattern invariants."""
+        self.to_pattern().validate()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactPattern):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.payload, other.payload)
+        )
+
+    def __hash__(self) -> None:  # pragma: no cover - explicit unhashable
+        raise TypeError(f"{type(self).__name__} is not hashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"ratio={self.compression_ratio:.2f}x)"
+        )
+
+
+class CompactPatternMinor(CompactPattern):
+    """Column-major (CSC-shaped) compact pattern."""
+
+    MAJOR_AXIS = 1
+    __slots__ = ()
+
+
+class CompactCSR(GraphStorage):
+    """Both compressed views of the graph in varint/delta form."""
+
+    layout = "compact"
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        super().__init__(graph)
+        self._compact_csr = CompactPattern.from_pattern(graph.csr)
+        self._compact_csc = CompactPattern.from_pattern(graph.csc)
+
+    @property
+    def csr(self) -> CompactPattern:
+        return self._compact_csr
+
+    @property
+    def csc(self) -> CompactPattern:
+        return self._compact_csc
+
+    @property
+    def compression_ratio(self) -> float:
+        """Combined raw-over-compact ratio of both index payloads."""
+        raw = 2 * self.n_edges * np.dtype(INDEX_DTYPE).itemsize
+        packed = self._compact_csr.payload.nbytes + self._compact_csc.payload.nbytes
+        return raw / packed if packed else 1.0

@@ -1,0 +1,164 @@
+"""``MmapCSR`` — out-of-core graphs through memory-mapped column files.
+
+Both compressed views are persisted as four ``.npy`` files plus a JSON
+sidecar, then mapped back with ``np.load(..., mmap_mode="r")``.  The
+memmaps are plain ``ndarray`` subclasses, so the kernels (and the storage
+accessor protocol) run on them unchanged; the OS pages index data in and
+out on demand, which is what lets the blocked-panel path count graphs
+whose CSR arrays exceed the process' heap budget — file-backed read-only
+mappings are served from the page cache and do not count against
+``RLIMIT_DATA`` (pinned by a subprocess test under an rlimit cap).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro._types import INDEX_DTYPE
+from repro.graphs.bipartite import BipartiteGraph
+from repro.sparsela import PatternCSC, PatternCSR
+from repro.storage.base import GraphStorage
+
+__all__ = ["MmapCSR"]
+
+#: on-disk file names, in (view, array) order.
+_FILES = ("csr_indptr", "csr_indices", "csc_indptr", "csc_indices")
+_META = "meta.json"
+#: rows copied per chunk when spilling an in-memory graph to disk.
+_SPILL_CHUNK = 1 << 20
+
+
+class MmapCSR(GraphStorage):
+    """Graph storage over memory-mapped CSR/CSC column files.
+
+    Build with :meth:`from_graph` (spill an in-memory graph to a
+    directory, then map it back) or :meth:`load` (attach to files written
+    earlier — including files produced out-of-core by external tooling, as
+    the rlimit test does).
+    """
+
+    layout = "mmap"
+
+    def __init__(self, directory: str, csr: PatternCSR, csc: PatternCSC) -> None:
+        # deliberately no BipartiteGraph: building one would materialise a
+        # COO copy of the whole edge set in memory
+        self._graph = None
+        self.directory = str(directory)
+        self._mmap_csr = csr
+        self._mmap_csc = csc
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def save(cls, graph: BipartiteGraph, directory: str) -> str:
+        """Spill ``graph``'s four index arrays to ``directory`` (chunked)."""
+        os.makedirs(directory, exist_ok=True)
+        arrays = {
+            "csr_indptr": graph.csr.entry_offsets(),
+            "csr_indices": graph.csr.entries(0, graph.csr.nnz),
+            "csc_indptr": graph.csc.entry_offsets(),
+            "csc_indices": graph.csc.entries(0, graph.csc.nnz),
+        }
+        for name, arr in arrays.items():
+            out = np.lib.format.open_memmap(
+                os.path.join(directory, f"{name}.npy"),
+                mode="w+",
+                dtype=INDEX_DTYPE,
+                shape=arr.shape,
+            )
+            for lo in range(0, arr.size, _SPILL_CHUNK):
+                out[lo : lo + _SPILL_CHUNK] = arr[lo : lo + _SPILL_CHUNK]
+            out.flush()
+            del out
+        meta = {"n_left": graph.n_left, "n_right": graph.n_right,
+                "n_edges": graph.n_edges}
+        with open(os.path.join(directory, _META), "w") as fh:
+            json.dump(meta, fh)
+        return directory
+
+    @classmethod
+    def from_graph(
+        cls, graph: BipartiteGraph, directory: str | None = None
+    ) -> "MmapCSR":
+        """Spill ``graph`` to ``directory`` (a fresh tempdir when omitted).
+
+        A tempdir the method created itself is removed again when the
+        returned storage is garbage-collected; a caller-provided
+        directory is the caller's to keep.
+        """
+        own_tempdir = directory is None
+        if own_tempdir:
+            import tempfile
+
+            directory = tempfile.mkdtemp(prefix="repro-mmap-")
+        cls.save(graph, directory)
+        store = cls.load(directory)
+        if own_tempdir:
+            import shutil
+            import weakref
+
+            store._tempdir_finalizer = weakref.finalize(
+                store, shutil.rmtree, directory, True
+            )
+        return store
+
+    @classmethod
+    def load(cls, directory: str) -> "MmapCSR":
+        """Attach to column files previously written under ``directory``."""
+        with open(os.path.join(directory, _META)) as fh:
+            meta = json.load(fh)
+        shape = (int(meta["n_left"]), int(meta["n_right"]))
+        maps = {
+            name: np.load(
+                os.path.join(directory, f"{name}.npy"), mmap_mode="r"
+            )
+            for name in _FILES
+        }
+        csr = PatternCSR(
+            maps["csr_indptr"], maps["csr_indices"], shape, check=False
+        )
+        csc = PatternCSC(
+            maps["csc_indptr"], maps["csc_indices"], shape, check=False
+        )
+        return cls(directory, csr, csc)
+
+    # -- BipartiteGraph duck-type surface (no backing graph object) ----
+    @property
+    def graph(self):
+        raise TypeError(
+            "MmapCSR has no in-memory BipartiteGraph; use .csr/.csc views"
+        )
+
+    @property
+    def n_left(self) -> int:
+        return self._mmap_csr.shape[0]
+
+    @property
+    def n_right(self) -> int:
+        return self._mmap_csr.shape[1]
+
+    @property
+    def n_edges(self) -> int:
+        return self._mmap_csr.nnz
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._mmap_csr.shape
+
+    @property
+    def csr(self) -> PatternCSR:
+        return self._mmap_csr
+
+    @property
+    def csc(self) -> PatternCSC:
+        return self._mmap_csc
+
+    @property
+    def file_bytes(self) -> int:
+        """Total size of the mapped column files on disk."""
+        return sum(
+            os.path.getsize(os.path.join(self.directory, f"{name}.npy"))
+            for name in _FILES
+        )

@@ -1,0 +1,20 @@
+"""``RawCSR`` — the seed layout, refactored behind the storage interface.
+
+Plain int64 CSR/CSC arrays exactly as :class:`~repro.graphs.bipartite.
+BipartiteGraph` builds them.  Exists so the planner's storage axis has an
+explicit baseline member and so code paths can be written uniformly
+against :class:`~repro.storage.base.GraphStorage` without special-casing
+"no storage object".
+"""
+
+from __future__ import annotations
+
+from repro.storage.base import GraphStorage
+
+__all__ = ["RawCSR"]
+
+
+class RawCSR(GraphStorage):
+    """The identity layout: the graph's own cached CSR/CSC patterns."""
+
+    layout = "raw"

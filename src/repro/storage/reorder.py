@@ -1,0 +1,80 @@
+"""``ReorderedCSR`` — degree-ordered relabeling with user ids preserved.
+
+The vertex-priority reordering of Wang et al. (arXiv:1812.00283): relabel
+each side so high-degree vertices get the small ids (``descending=True``,
+the default).  Butterfly counts are label-invariant, so the global count
+needs no translation; per-vertex results are computed in storage ids and
+mapped back through the stored permutation by
+:meth:`~ReorderedCSR.vertex_values_to_user`.
+
+Why it is faster: the wedge-continuation gather reads the adjacency lists
+of a pivot's neighbours, and on skewed graphs those neighbours are
+overwhelmingly the hubs.  After the relabel every hub list lives in the
+first few hundred KiB of ``indices`` and the scatter/gather targets
+(scratch accumulators, bincount keyspaces) concentrate at small offsets —
+the lines stay cache-resident across pivots instead of being sprayed over
+the whole array.  The locality claim is validated analytically by
+:func:`repro.bench.cachesim.simulate_storage_locality` and empirically by
+the ``storage`` bench section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import INDEX_DTYPE
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.ordering import degree_order
+from repro.storage.base import GraphStorage
+
+__all__ = ["ReorderedCSR"]
+
+
+class ReorderedCSR(GraphStorage):
+    """Both sides relabeled in degree order; inverse permutations retained.
+
+    Parameters
+    ----------
+    graph:
+        The graph in user labelling.
+    descending:
+        ``True`` (default) gives hubs the small ids — the cache-locality
+        ordering.  ``False`` is the Chiba–Nishizeki increasing order.
+    """
+
+    layout = "reorder"
+
+    def __init__(self, graph: BipartiteGraph, descending: bool = True) -> None:
+        # perm[v] = storage id of user vertex v (per side)
+        self.left_perm = degree_order(graph.degrees_left(), descending)
+        self.right_perm = degree_order(graph.degrees_right(), descending)
+        self.left_inverse = _invert(self.left_perm)
+        self.right_inverse = _invert(self.right_perm)
+        self.descending = bool(descending)
+        super().__init__(graph.relabel(self.left_perm, self.right_perm))
+
+    def _perm(self, side: str) -> np.ndarray:
+        if side == "left":
+            return self.left_perm
+        if side == "right":
+            return self.right_perm
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    def to_storage_ids(self, ids: np.ndarray, side: str) -> np.ndarray:
+        return self._perm(side)[np.asarray(ids)]
+
+    def to_user_ids(self, ids: np.ndarray, side: str) -> np.ndarray:
+        inverse = self.left_inverse if side == "left" else self.right_inverse
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        return inverse[np.asarray(ids)]
+
+    def vertex_values_to_user(self, values: np.ndarray, side: str) -> np.ndarray:
+        """``out[u] = values[perm[u]]`` — results back in user id order."""
+        return np.asarray(values)[self._perm(side)]
+
+
+def _invert(perm: np.ndarray) -> np.ndarray:
+    inverse = np.empty(len(perm), dtype=INDEX_DTYPE)
+    inverse[perm] = np.arange(len(perm), dtype=INDEX_DTYPE)
+    return inverse

@@ -467,6 +467,7 @@ def test_all_rule_ids_catalogued():
         "RPR005",
         "RPR006",
         "RPR007",
+        "RPR008",
     )
 
 
@@ -704,6 +705,76 @@ class TestEngineSinkDiscipline:
         findings, supp = analysis.analyze_source(
             src, path="fixture.py", module="repro.engine.drift",
             rules=["RPR007"],
+        )
+        assert findings == []
+        assert supp.used == 1
+
+# ----------------------------------------------------------------------
+# RPR008 — storage accessor discipline
+# ----------------------------------------------------------------------
+
+
+class TestStorageAccessorDiscipline:
+    def test_indptr_access_in_core_flagged(self):
+        src = """
+            def f(pattern):
+                return pattern.indptr[1:] - pattern.indptr[:-1]
+        """
+        findings = run(src, "repro.core.family", rules=["RPR008"])
+        assert findings and all(f.rule == "RPR008" for f in findings)
+        assert "accessor protocol" in findings[0].message
+
+    def test_indices_access_in_engine_flagged(self):
+        src = """
+            def f(csr, i, j):
+                return csr.indices[csr.indptr[i] : csr.indptr[j]]
+        """
+        findings = run(src, "repro.engine.execute", rules=["RPR008"])
+        assert findings
+
+    def test_storage_layer_allow_listed(self):
+        src = """
+            def f(pattern):
+                return pattern.indices[pattern.indptr[0] :]
+        """
+        assert run(src, "repro.storage.reorder", rules=["RPR008"]) == []
+
+    def test_sparsela_allow_listed(self):
+        src = """
+            def f(pattern):
+                return pattern.indptr.copy()
+        """
+        assert run(src, "repro.sparsela._compressed", rules=["RPR008"]) == []
+
+    def test_baselines_allow_listed(self):
+        src = """
+            def f(mat):
+                return mat.indices
+        """
+        assert run(src, "repro.baselines.scipy_like", rules=["RPR008"]) == []
+
+    def test_sanctioned_plumbing_module_ok(self):
+        src = """
+            def f(csr):
+                return csr.indptr.nbytes + csr.indices.nbytes
+        """
+        assert run(src, "repro.parallel.shm", rules=["RPR008"]) == []
+
+    def test_outside_repro_not_in_scope(self):
+        src = """
+            def f(mat):
+                return mat.indptr
+        """
+        assert run(src, "tools.scratch", rules=["RPR008"]) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def f(csr):\n"
+            "    return csr.indptr  # repro: noqa[RPR008] reviewed\n"
+        )
+        findings, supp = analysis.analyze_source(
+            src, path="fixture.py", module="repro.core.family",
+            rules=["RPR008"],
         )
         assert findings == []
         assert supp.used == 1

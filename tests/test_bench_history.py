@@ -60,6 +60,21 @@ class TestFlatten:
         assert metric_direction("dispatch_overhead.graph.n_edges") is None
         assert metric_direction("n_workers") is None  # run metadata
 
+    def test_bytes_leaves_are_lower_better(self):
+        # storage.publish_bytes: a growing shm segment is a compression
+        # regression the bench gate must trip on
+        assert metric_direction("storage.publish_bytes") == "lower"
+        assert metric_direction("storage.publish_bytes_raw") == "lower"
+        assert metric_direction("storage.reorder_speedup_ratio") == "higher"
+
+    def test_publish_bytes_regression_trips_compare(self):
+        baseline = {"storage": {"publish_bytes": 465000}}
+        current = {"storage": {"publish_bytes": 930000}}  # codec regressed 2x
+        rows = compare(baseline, current, tolerance=0.15)
+        assert has_regression(rows)
+        (bad,) = [r for r in rows if r.is_regression]
+        assert bad.name == "storage.publish_bytes"
+
 
 # ----------------------------------------------------------------------
 # the gate itself

@@ -1,0 +1,543 @@
+"""repro.storage — the GraphStorage layouts behind the planner's storage axis.
+
+Four concerns, each pinned separately:
+
+- the varint/delta codec round-trips exactly (including the adversarial
+  shapes: empty graphs, empty slices, single rows, 2⁴⁰-scale gaps);
+- :class:`CompactPattern` answers the full accessor protocol with the
+  same values as the raw pattern it compressed;
+- :class:`ReorderedCSR` keeps user ids recoverable (permutations are
+  inverses, per-vertex results map back) while the relabeled graph counts
+  identically — butterflies are label-invariant;
+- :class:`MmapCSR` runs the counting kernels out-of-core: the rlimit
+  subprocess test counts a graph whose index arrays exceed the process'
+  ``RLIMIT_DATA`` budget, which only works because the column files are
+  paged in by the OS instead of living on the heap.
+
+The work-model regression (2⁴⁰ wedges on a hub graph, computed directly
+on a ReorderedCSR view) guards the int64 prefix-sum discipline of
+:func:`repro.core.workinfo.wedge_work_prefix`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.core import count_butterflies
+from repro.core.blocked import count_butterflies_blocked
+from repro.core.local_counts import vertex_butterfly_counts
+from repro.core.workinfo import wedge_work_prefix
+from repro.engine.calibration import CalibrationTable
+from repro.graphs import (
+    BipartiteGraph,
+    erdos_renyi_bipartite,
+    power_law_bipartite,
+)
+from repro.sparsela import PatternCSR
+from repro.storage import (
+    LAYOUTS,
+    CompactCSR,
+    CompactPattern,
+    GraphStorage,
+    MmapCSR,
+    RawCSR,
+    ReorderedCSR,
+    decode_varint_deltas,
+    encode_varint_deltas,
+    make_storage,
+    resolve_storage,
+)
+
+DEFAULTS = CalibrationTable()
+
+
+def _graph() -> BipartiteGraph:
+    return power_law_bipartite(60, 80, 500, seed=31)
+
+
+# ----------------------------------------------------------------------
+# varint/delta codec
+# ----------------------------------------------------------------------
+
+
+class TestVarintCodec:
+    def _roundtrip(self, indptr, indices):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        payload, byte_offsets = encode_varint_deltas(indptr, indices)
+        assert byte_offsets.shape == indptr.shape
+        decoded = decode_varint_deltas(payload, np.diff(indptr))
+        np.testing.assert_array_equal(decoded, indices)
+        return payload
+
+    def test_roundtrip_random_graph(self):
+        g = _graph()
+        self._roundtrip(g.csr.indptr, g.csr.indices)
+        self._roundtrip(g.csc.indptr, g.csc.indices)
+
+    def test_empty(self):
+        payload = self._roundtrip([0, 0, 0], [])
+        assert payload.size == 0
+
+    def test_single_row(self):
+        self._roundtrip([0, 4], [0, 3, 7, 200])
+
+    def test_empty_slices_interleaved(self):
+        self._roundtrip([0, 0, 2, 2, 2, 5, 5], [1, 9, 0, 4, 6])
+
+    def test_large_gaps_multibyte_varints(self):
+        # gaps spanning every varint byte class up to 2**40
+        indices = np.cumsum([1, 127, 128, 2**14, 2**21, 2**28, 2**40])
+        payload = self._roundtrip([0, len(indices)], indices)
+        assert payload.size > indices.size  # multi-byte encodings happened
+
+    def test_first_index_absolute_per_slice(self):
+        # two slices starting at large absolute values
+        self._roundtrip([0, 2, 4], [2**30, 2**30 + 1, 2**35, 2**35 + 2])
+
+    def test_decode_rejects_wrong_entry_count(self):
+        payload, _ = encode_varint_deltas(
+            np.array([0, 3]), np.array([1, 2, 3])
+        )
+        with pytest.raises(ValueError, match="decodes to"):
+            decode_varint_deltas(payload, np.array([5]))
+
+    def test_compression_shrinks_local_indices(self):
+        g = _graph()
+        compact = CompactPattern.from_pattern(g.csr)
+        assert compact.compression_ratio > 2.0
+
+
+# ----------------------------------------------------------------------
+# CompactPattern accessor-protocol equivalence
+# ----------------------------------------------------------------------
+
+
+class TestCompactPatternAccessors:
+    @pytest.fixture()
+    def pair(self):
+        g = _graph()
+        return g.csr, CompactPattern.from_pattern(g.csr)
+
+    def test_dimensions(self, pair):
+        raw, compact = pair
+        assert compact.shape == raw.shape
+        assert compact.nnz == raw.nnz
+        assert compact.major_dim == raw.major_dim
+        assert compact.minor_dim == raw.minor_dim
+
+    def test_slices_and_panels(self, pair):
+        raw, compact = pair
+        for i in range(raw.major_dim):
+            np.testing.assert_array_equal(compact.slice(i), raw.slice(i))
+        np.testing.assert_array_equal(
+            compact.panel_indices(0, raw.major_dim),
+            raw.panel_indices(0, raw.major_dim),
+        )
+        np.testing.assert_array_equal(
+            compact.panel_indices(5, 17), raw.panel_indices(5, 17)
+        )
+
+    def test_degrees_and_gather(self, pair):
+        raw, compact = pair
+        np.testing.assert_array_equal(compact.degrees(), raw.degrees())
+        ids = np.array([7, 3, 3, 0, 41])
+        np.testing.assert_array_equal(
+            compact.degrees_of(ids), raw.degrees_of(ids)
+        )
+        np.testing.assert_array_equal(compact.gather(ids), raw.gather(ids))
+        np.testing.assert_array_equal(
+            compact.minor_degrees(), raw.minor_degrees()
+        )
+
+    def test_entries_and_offsets(self, pair):
+        raw, compact = pair
+        np.testing.assert_array_equal(
+            compact.entry_offsets(), raw.entry_offsets()
+        )
+        assert compact.entry_range(4, 19) == raw.entry_range(4, 19)
+        np.testing.assert_array_equal(
+            compact.entries(0, raw.nnz), raw.entries(0, raw.nnz)
+        )
+        np.testing.assert_array_equal(
+            compact.entries(13, 101), raw.entries(13, 101)
+        )
+        assert compact.entries(9, 9).size == 0
+        np.testing.assert_array_equal(
+            compact.expand_major(), raw.expand_major()
+        )
+
+    def test_to_pattern_roundtrip_validates(self, pair):
+        raw, compact = pair
+        back = compact.to_pattern()
+        assert back == raw
+        compact.validate()
+
+    def test_csc_view_major_axis(self):
+        g = _graph()
+        compact = CompactPattern.from_pattern(g.csc)
+        assert compact.MAJOR_AXIS == 1
+        assert compact.to_pattern() == g.csc
+
+
+# ----------------------------------------------------------------------
+# layouts behind the protocol
+# ----------------------------------------------------------------------
+
+
+class TestGraphStorage:
+    def test_factory_builds_each_layout(self):
+        g = _graph()
+        classes = {
+            "raw": RawCSR, "reorder": ReorderedCSR,
+            "compact": CompactCSR, "mmap": MmapCSR,
+        }
+        for layout in LAYOUTS:
+            store = make_storage(g, layout)
+            assert isinstance(store, classes[layout])
+            assert store.layout == layout
+            assert (store.n_left, store.n_right) == g.shape
+            assert store.n_edges == g.n_edges
+
+    def test_factory_rejects_unknown_and_rewrap(self):
+        g = _graph()
+        with pytest.raises(ValueError, match="unknown storage layout"):
+            make_storage(g, "csr")
+        store = make_storage(g, "reorder")
+        with pytest.raises(TypeError, match="already"):
+            make_storage(store, "compact")
+        assert make_storage(store, "reorder") is store
+
+    def test_resolve_passthrough_and_default(self):
+        g = _graph()
+        store = resolve_storage(g, None)
+        assert isinstance(store, RawCSR)
+        again = resolve_storage(store, "compact")  # existing object wins
+        assert again is store
+
+    def test_counts_agree_across_layouts(self):
+        g = _graph()
+        truth = count_butterflies(g)
+        for layout in LAYOUTS:
+            store = make_storage(g, layout)
+            assert count_butterflies_blocked(store, 2, block_size=16) == truth
+
+    def test_compact_nbytes_smaller_than_raw(self):
+        g = _graph()
+        assert make_storage(g, "compact").nbytes < make_storage(g, "raw").nbytes
+
+    def test_repr_mentions_layout(self):
+        assert "reorder" in repr(make_storage(_graph(), "reorder"))
+
+
+class TestReorderedCSR:
+    def test_permutations_are_inverses(self):
+        store = ReorderedCSR(_graph())
+        for perm, inv in (
+            (store.left_perm, store.left_inverse),
+            (store.right_perm, store.right_inverse),
+        ):
+            np.testing.assert_array_equal(
+                inv[perm], np.arange(len(perm))
+            )
+
+    def test_hubs_get_small_ids(self):
+        store = ReorderedCSR(_graph())
+        deg = store.graph.csr.degrees()
+        assert (np.diff(deg) <= 0).all()  # descending degree order
+
+    def test_id_mapping_roundtrip(self):
+        store = ReorderedCSR(_graph())
+        ids = np.array([0, 5, 17, 5])
+        for side in ("left", "right"):
+            np.testing.assert_array_equal(
+                store.to_user_ids(store.to_storage_ids(ids, side), side), ids
+            )
+        with pytest.raises(ValueError, match="side"):
+            store.to_storage_ids(ids, "top")
+
+    def test_vertex_values_map_back_to_user_order(self):
+        g = _graph()
+        store = ReorderedCSR(g)
+        truth = vertex_butterfly_counts(g, "left")
+        relabeled = vertex_butterfly_counts(store.graph, "left")
+        np.testing.assert_array_equal(
+            store.vertex_values_to_user(relabeled, "left"), truth
+        )
+
+
+class TestMmapCSR:
+    def test_from_graph_counts_and_cleans_up(self):
+        g = _graph()
+        store = MmapCSR.from_graph(g)
+        directory = store.directory
+        assert count_butterflies_blocked(store, 2, 16) == count_butterflies(g)
+        assert store.file_bytes > 0
+        with pytest.raises(TypeError, match="no in-memory"):
+            store.graph
+        del store
+        assert not os.path.exists(directory)  # finalizer removed the tempdir
+
+    def test_save_then_load_explicit_directory(self, tmp_path):
+        g = _graph()
+        MmapCSR.save(g, str(tmp_path / "g"))
+        store = MmapCSR.load(str(tmp_path / "g"))
+        assert store.shape == g.shape
+        assert store.n_edges == g.n_edges
+        np.testing.assert_array_equal(
+            store.csr.entries(0, store.n_edges), g.csr.indices
+        )
+        del store
+        assert (tmp_path / "g").exists()  # caller-provided dir is kept
+
+
+# ----------------------------------------------------------------------
+# out-of-core: count under an RLIMIT_DATA budget smaller than the arrays
+# ----------------------------------------------------------------------
+
+_RLIMIT_SCRIPT = textwrap.dedent(
+    """
+    import resource, sys
+    cap = int(sys.argv[1])
+    resource.setrlimit(resource.RLIMIT_DATA, (cap, cap))
+    from repro.core.blocked import count_butterflies_blocked
+    from repro.storage import MmapCSR
+    store = MmapCSR.load(sys.argv[2])
+    print(count_butterflies_blocked(store, 2, block_size=1 << 16))
+    """
+)
+
+
+def _write_band_columns(directory: str, n: int) -> int:
+    """Write band-graph column files (row i → {i, i+1, i+2}) directly.
+
+    Built straight on disk via ``open_memmap`` so the *test* process never
+    holds the arrays either.  Returns the total index bytes written.
+    """
+    import json
+
+    from repro._types import INDEX_DTYPE
+
+    os.makedirs(directory, exist_ok=True)
+    itemsize = np.dtype(INDEX_DTYPE).itemsize
+    n_right = n + 2
+    # csr: entry e belongs to row e // 3, offset e % 3 → index row + offset
+    chunk = 1 << 20
+    out = np.lib.format.open_memmap(
+        os.path.join(directory, "csr_indptr.npy"),
+        mode="w+", dtype=INDEX_DTYPE, shape=(n + 1,),
+    )
+    for lo in range(0, n + 1, chunk):
+        hi = min(lo + chunk, n + 1)
+        out[lo:hi] = 3 * np.arange(lo, hi, dtype=np.int64)
+    out.flush(); del out
+
+    out = np.lib.format.open_memmap(
+        os.path.join(directory, "csr_indices.npy"),
+        mode="w+", dtype=INDEX_DTYPE, shape=(3 * n,),
+    )
+    for lo in range(0, 3 * n, chunk):
+        hi = min(lo + chunk, 3 * n)
+        e = np.arange(lo, hi, dtype=np.int64)
+        out[lo:hi] = e // 3 + e % 3
+    out.flush(); del out
+
+    # csc: column j has max(0, min(j, n - 1, 2, n + 1 - j) ...) — easier by
+    # degree: deg(j) = #{i in [0, n) : j - 2 <= i <= j} = min(j, 2) -
+    # max(0, j - n + 1) + 1 clipped to >= 0
+    out = np.lib.format.open_memmap(
+        os.path.join(directory, "csc_indptr.npy"),
+        mode="w+", dtype=INDEX_DTYPE, shape=(n_right + 1,),
+    )
+    carry = 0
+    for lo in range(0, n_right, chunk):
+        hi = min(lo + chunk, n_right)
+        j = np.arange(lo, hi, dtype=np.int64)
+        deg = np.minimum(j, 2) - np.maximum(j - n + 1, 0) + 1
+        np.clip(deg, 0, None, out=deg)
+        out[lo] = carry
+        csum = carry + deg.cumsum()
+        out[lo + 1 : hi + 1] = csum
+        carry = int(csum[-1])
+    out.flush(); del out
+
+    out = np.lib.format.open_memmap(
+        os.path.join(directory, "csc_indices.npy"),
+        mode="w+", dtype=INDEX_DTYPE, shape=(3 * n,),
+    )
+    # rows of column j are j-2, j-1, j clipped to [0, n); generate per
+    # column-chunk using the same degree formula
+    pos = 0
+    for lo in range(0, n_right, chunk):
+        hi = min(lo + chunk, n_right)
+        j = np.arange(lo, hi, dtype=np.int64)
+        deg = np.clip(np.minimum(j, 2) - np.maximum(j - n + 1, 0) + 1, 0, None)
+        first = np.maximum(j - 2, 0)
+        offsets = np.arange(int(deg.sum()), dtype=np.int64)
+        starts = np.repeat(deg.cumsum() - deg, deg)
+        rows = np.repeat(first, deg) + (offsets - starts)
+        out[pos : pos + rows.size] = rows
+        pos += rows.size
+    out.flush(); del out
+
+    with open(os.path.join(directory, "meta.json"), "w") as fh:
+        json.dump(
+            {"n_left": n, "n_right": n_right, "n_edges": 3 * n}, fh
+        )
+    return itemsize * ((n + 1) + 3 * n + (n_right + 1) + 3 * n)
+
+
+def test_mmap_counts_beyond_rlimit_budget(tmp_path):
+    """The out-of-core guarantee, pinned with a hard rlimit.
+
+    Row i of the band graph connects to columns {i, i+1, i+2}; adjacent
+    rows share exactly 2 columns, rows two apart share 1, so the count is
+    closed-form N − 1.  The subprocess caps ``RLIMIT_DATA`` *below* the
+    total index bytes: loading the four arrays onto the heap is
+    impossible, yet the memory-mapped blocked count succeeds because
+    read-only file-backed pages are the page cache's, not the heap's.
+    """
+    n = 4_000_000
+    directory = str(tmp_path / "band")
+    index_bytes = _write_band_columns(directory, n)
+    assert index_bytes > 240 * 1024 * 1024
+
+    # sanity: the layout is a valid CSR/CSC pair of the same graph
+    store = MmapCSR.load(directory)
+    assert store.n_edges == 3 * n
+    np.testing.assert_array_equal(
+        store.csr.slice(5), np.array([5, 6, 7])
+    )
+    np.testing.assert_array_equal(store.csc.slice(0), np.array([0]))
+    np.testing.assert_array_equal(store.csc.slice(2), np.array([0, 1, 2]))
+    del store
+
+    cap = 192 * 1024 * 1024  # well below index_bytes, ample for python+numpy
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _RLIMIT_SCRIPT, str(cap), directory],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert int(proc.stdout.strip()) == n - 1
+
+
+# ----------------------------------------------------------------------
+# work model on a reordered view: int64 discipline at 2^40 wedges
+# ----------------------------------------------------------------------
+
+
+def test_wedge_work_prefix_2_pow_40_on_reordered_view():
+    """Hub graph: 2²⁰ left vertices each adjacent to one hub of degree 2²⁰.
+
+    Every left pivot expands deg(hub) = 2²⁰ wedge endpoints, so the total
+    is exactly 2⁴⁰ — far past float64-safe integer territory for sums of
+    this scale and a regression trap for any float intermediate.  Computed
+    directly on the ReorderedCSR view's patterns: no inverse-permuted
+    index copy is materialised on the way (the accessors read the
+    relabeled arrays in place).
+    """
+    n = 1 << 20
+    csr = PatternCSR(
+        np.arange(n + 1, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        (n, 1),
+        check=False,
+    )
+    store = ReorderedCSR(BipartiteGraph.from_csr(csr))
+    prefix = wedge_work_prefix(store.csr, store.csc)
+    assert prefix.dtype == np.int64
+    assert prefix[0] == 0
+    assert int(prefix[-1]) == 2**40
+    # exact triangular growth: pivot p contributes exactly 2^20
+    assert int(prefix[1]) == 2**20
+    assert int(prefix[n // 2]) == (n // 2) * 2**20
+
+
+# ----------------------------------------------------------------------
+# the storage axis through plan → execute
+# ----------------------------------------------------------------------
+
+
+class TestPlannerStorageAxis:
+    def test_execute_agrees_across_layout_pins(self):
+        g = _graph()
+        truth = count_butterflies(g)
+        for layout in LAYOUTS:
+            p = engine.plan(g, "count", layout=layout, calibration=DEFAULTS)
+            assert p.layout == layout
+            assert engine.execute(p, g) == truth
+
+    def test_auto_tables_score_reorder_against_raw(self):
+        g = _graph()
+        p = engine.plan(g, "count", calibration=DEFAULTS)
+        layouts = {c.layout for c in p.candidates}
+        assert layouts == {"raw", "reorder"}
+
+    def test_auto_selects_reorder_on_merit_on_power_law(self):
+        g = power_law_bipartite(2000, 3000, 40000, seed=7)
+        p = engine.plan(g, "count", calibration=DEFAULTS)
+        assert p.layout == "reorder"
+        raw_best = min(
+            c.est_seconds for c in p.candidates if c.layout == "raw"
+        )
+        assert p.est_seconds < raw_best
+        assert engine.execute(p, g) == count_butterflies(g)
+
+    def test_compact_pin_carries_decode_surcharge(self):
+        g = _graph()
+        raw = engine.plan(g, "count", layout="raw", calibration=DEFAULTS)
+        compact = engine.plan(
+            g, "count", layout="compact", calibration=DEFAULTS
+        )
+        assert compact.est_seconds > raw.est_seconds
+
+    def test_mmap_pin_is_serial_only(self):
+        g = _graph()
+        p = engine.plan(g, "count", layout="mmap", calibration=DEFAULTS)
+        assert p.executor == "serial"
+
+    def test_family_only_auto_stays_raw(self):
+        g = _graph()
+        p = engine.plan(g, "count", family_only=True, calibration=DEFAULTS)
+        assert {c.layout for c in p.candidates} == {"raw"}
+
+    def test_layout_rejected_for_peeling_workloads(self):
+        g = _graph()
+        with pytest.raises(ValueError, match="storage-layout"):
+            engine.plan(g, "tip", side="left", layout="reorder",
+                        calibration=DEFAULTS)
+
+    def test_vertex_counts_map_back_through_reorder(self):
+        g = _graph()
+        truth = vertex_butterfly_counts(g, "left")
+        p = engine.plan(
+            g, "vertex-counts", side="left", layout="reorder",
+            calibration=DEFAULTS,
+        )
+        np.testing.assert_array_equal(engine.execute(p, g), truth)
+
+    def test_label_and_explain_show_the_layout(self):
+        g = _graph()
+        p = engine.plan(g, "count", layout="reorder", calibration=DEFAULTS)
+        assert "reorder" in p.label
+        text = engine.explain(p, g, calibration=DEFAULTS)
+        assert "layout" in text
+        assert "reorder" in text
+
+    def test_execute_accepts_prebuilt_storage(self):
+        g = _graph()
+        store = ReorderedCSR(g)
+        p = engine.plan(g, "count", layout="reorder", calibration=DEFAULTS)
+        assert engine.execute(p, store) == count_butterflies(g)
