@@ -7,11 +7,20 @@ core / parallel / engine, the observability hygiene contract, and the
 deprecation/exception policies.  Stdlib-only, so it runs in the leanest
 CI job and inside ``bench-quick``.
 
+Since the whole-program pass the analyzer runs in **two passes**: pass 1
+parses each file once (cache-aware, parallel with ``--jobs``), runs the
+per-file rules and extracts its slice of the project model; pass 2
+assembles the model — symbol tables, import graph, conservative call
+graph — and runs the interprocedural rules over it.
+
 Entry points::
 
     repro-butterfly analyze src/repro            # human output, exit 1 on findings
     repro-butterfly analyze --format json --out analysis.json
+    repro-butterfly analyze --format sarif       # GitHub code-scanning upload
     repro-butterfly analyze --rules RPR001,RPR002
+    repro-butterfly analyze --jobs 4 --cache results/analysis_cache.json
+    repro-butterfly analyze --diff origin/main   # changed files, full model
     make lint                                    # analyzer + ruff + mypy (if present)
 
 Library use::
@@ -29,22 +38,33 @@ RPR003    observability hygiene (span usage, names, disabled-path cost)
 RPR004    engine-plan purity (no plan mutation / inline member selection)
 RPR005    deprecation policy (stacklevel>=2, documented shim list)
 RPR006    exception discipline (no bare/broad/swallowed handlers)
+RPR007    engine sink discipline (no ad-hoc ``open()`` writes in engine)
+RPR008    storage accessor discipline (no raw ``.indptr``/``.indices``)
+RPR009    resource lifecycle (shm/mmap/ObsServer release on every path)
+RPR010    worker-boundary purity (no shared-state writes from dispatch)
+RPR011    interprocedural dtype propagation (narrow returns summed)
+RPR012    public-API surface drift (``__all__`` vs ``docs/api.md``)
 ========  ==============================================================
 
 Per-line suppression: ``# repro: noqa[RPR006] <justification>``.
+Exit codes: 0 clean, 1 findings, 2 parse errors.
 """
 
+from repro.analysis.cache import ANALYZER_VERSION, AnalysisCache
 from repro.analysis.engine import (
     ModuleContext,
+    RELAXED_PROFILE_EXCLUDES,
     Report,
     analyze_paths,
     analyze_source,
+    analyze_sources,
     baseline_payload,
     iter_python_files,
     load_baseline,
     module_name_for,
 )
 from repro.analysis.findings import SEVERITIES, Finding, Suppressions, parse_suppressions
+from repro.analysis.model import ModuleFacts, ProjectModel, extract_module_facts
 from repro.analysis.render import (
     JSON_SCHEMA_ID,
     render_json,
@@ -55,9 +75,11 @@ from repro.analysis.rules import (
     ALL_RULE_IDS,
     DEPRECATION_SHIM_MODULES,
     RULES,
+    ProjectRule,
     Rule,
     resolve_rules,
 )
+from repro.analysis.sarif import SARIF_VERSION, findings_from_sarif, render_sarif, sarif_payload
 
 __all__ = [
     "Finding",
@@ -68,11 +90,13 @@ __all__ = [
     "Report",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "iter_python_files",
     "module_name_for",
     "load_baseline",
     "baseline_payload",
     "Rule",
+    "ProjectRule",
     "RULES",
     "ALL_RULE_IDS",
     "DEPRECATION_SHIM_MODULES",
@@ -81,4 +105,14 @@ __all__ = [
     "render_json",
     "report_payload",
     "JSON_SCHEMA_ID",
+    "ModuleFacts",
+    "ProjectModel",
+    "extract_module_facts",
+    "ANALYZER_VERSION",
+    "AnalysisCache",
+    "RELAXED_PROFILE_EXCLUDES",
+    "SARIF_VERSION",
+    "sarif_payload",
+    "render_sarif",
+    "findings_from_sarif",
 ]

@@ -1,0 +1,120 @@
+"""Content-hash-keyed per-file result cache for warm analyzer runs.
+
+One JSON file (default ``results/analysis_cache.json``) maps each
+scanned path to its last result: the per-file findings + suppression
+count, the serialised :class:`~repro.analysis.model.ModuleFacts` slice,
+and any parse error.  An entry is valid only when *all three* of its key
+components still match:
+
+- the file's content hash (sha256 of the raw bytes),
+- the ruleset signature (sorted selected rule ids), and
+- :data:`ANALYZER_VERSION`, bumped whenever rule or model semantics
+  change so a stale cache can never mask a new finding.
+
+Warm runs therefore skip reading/parsing unchanged files entirely while
+still rebuilding the whole-program model (from cached facts), so the
+interprocedural rules see the full project on every run — cold and warm
+scans produce identical findings by construction.
+
+The cache is best-effort: unreadable or malformed cache files are
+treated as empty, and write failures are ignored (a scan must never
+fail because ``results/`` is read-only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+__all__ = ["ANALYZER_VERSION", "AnalysisCache", "content_hash", "ruleset_signature"]
+
+#: Bump on any semantic change to rules, facts extraction, or the model:
+#: the whole cache is invalidated in one stroke.
+ANALYZER_VERSION = "2.0"
+
+_SCHEMA = "repro.analysis.cache/v1"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_signature(rule_ids: tuple[str, ...] | list[str]) -> str:
+    """Stable signature of the selected rule set (+ analyzer version)."""
+    return f"{ANALYZER_VERSION}:" + ",".join(sorted(rule_ids))
+
+
+class AnalysisCache:
+    """Load-mutate-save wrapper around the cache JSON."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        #: last persistence failure, for diagnostics (a scan never fails
+        #: because ``results/`` is unwritable, but the reason is kept)
+        self.last_error: str | None = None
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def get(self, path: str, digest: str, signature: str) -> dict | None:
+        """The cached result for ``path``, or None on any key mismatch."""
+        entry = self.entries.get(path)
+        if (
+            entry is None
+            or entry.get("hash") != digest
+            or entry.get("sig") != signature
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, path: str, digest: str, signature: str, result: dict) -> None:
+        entry = {"hash": digest, "sig": signature}
+        entry.update(result)
+        self.entries[path] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (best-effort).
+
+        Failures are recorded on :attr:`last_error` rather than raised:
+        cache persistence is never worth failing a scan over, but the
+        reason stays inspectable.
+        """
+        if not self._dirty:
+            return
+        payload = {"schema": _SCHEMA, "entries": self.entries}
+        directory = os.path.dirname(self.path) or "."
+        tmp: str | None = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+            tmp = None
+        except OSError as exc:
+            self.last_error = str(exc)
+        else:
+            self._dirty = False
+            self.last_error = None
+        finally:
+            if tmp is not None and os.path.exists(tmp):
+                os.unlink(tmp)

@@ -1,11 +1,30 @@
-"""File discovery, parsing, rule dispatch and baseline filtering.
+"""File discovery, parsing, two-pass rule dispatch, cache, baselines.
 
-The engine is deliberately stdlib-only (``ast`` + ``os``): the analyzer
-must run in the leanest CI container and inside ``bench-quick`` without
-dragging optional dependencies in.  One :class:`ModuleContext` is built
-per file (source text, parsed tree, dotted module name, suppression
-table) and every selected rule walks that shared context — each file is
-read and parsed exactly once per scan.
+The engine is deliberately stdlib-only (``ast`` + ``os`` +
+``concurrent.futures``): the analyzer must run in the leanest CI
+container and inside ``bench-quick`` without dragging optional
+dependencies in.
+
+A scan is two passes.  **Pass 1** builds one :class:`ModuleContext` per
+file (source text, parsed tree, dotted module name, suppression table),
+runs the per-file rules over it, and extracts the serialisable
+:class:`~repro.analysis.model.ModuleFacts` slice of the project model —
+each file is read and parsed exactly once per scan, in parallel when
+``jobs > 1``, and skipped entirely on a warm run when the content-hash
+cache (:mod:`repro.analysis.cache`) still holds its result.  **Pass 2**
+assembles the facts into a :class:`~repro.analysis.model.ProjectModel`
+and runs the interprocedural rules (RPR009–RPR012) over the whole
+program; those always see every file — even in ``--diff`` mode, where
+per-file findings are restricted to changed files but the model stays
+complete so cross-file reasoning stays sound.
+
+Scan profiles: files under a ``tests``/``scripts`` directory get the
+*relaxed* profile (RPR003 and RPR006 off — test code legitimately
+spot-checks spans and catches broad exceptions); everything else gets
+the full profile.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` parse errors (a file the
+analyzer could not read is a broken gate, not a finding).
 """
 
 from __future__ import annotations
@@ -16,23 +35,30 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.cache import AnalysisCache, content_hash, ruleset_signature
 from repro.analysis.findings import Finding, Suppressions, parse_suppressions
+from repro.analysis.model import ModuleFacts, ProjectModel, extract_module_facts
 
 __all__ = [
     "ModuleContext",
     "Report",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "iter_python_files",
     "module_name_for",
     "load_baseline",
     "baseline_payload",
+    "RELAXED_PROFILE_EXCLUDES",
 ]
+
+#: Rules switched off for files under ``tests/`` or ``scripts/``.
+RELAXED_PROFILE_EXCLUDES: frozenset[str] = frozenset({"RPR003", "RPR006"})
 
 
 @dataclass
 class ModuleContext:
-    """Everything a rule needs to know about one source file."""
+    """Everything a per-file rule needs to know about one source file."""
 
     path: str  #: path reported in findings (repo-relative when possible)
     module: str  #: dotted module name, e.g. ``"repro.core.family"``
@@ -63,13 +89,22 @@ class Report:
     suppressed: int = 0  #: findings absorbed by ``# repro: noqa`` pragmas
     baselined: int = 0  #: findings absorbed by the ``--baseline`` file
     files: int = 0
+    cached: int = 0  #: files served from the content-hash cache
     rules: tuple[str, ...] = ()
     elapsed_ms: float = 0.0
     parse_errors: list[str] = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
-        return 1 if (self.findings or self.parse_errors) else 0
+        """``2`` on parse errors, ``1`` on findings, ``0`` clean.
+
+        A file the analyzer cannot parse means the gate did not actually
+        run over it — that is an infrastructure failure, distinct from
+        "the gate ran and objected" (exit 1).
+        """
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
 
     def counts_by_rule(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -111,7 +146,8 @@ def module_name_for(path: str) -> str:
 
     ``src/repro/core/family.py`` → ``repro.core.family``;
     ``src/repro/sparsela/__init__.py`` → ``repro.sparsela``.  Files outside
-    a ``repro`` tree (test fixtures) fall back to their stem.
+    a ``repro`` tree (test fixtures, ``tests/``, ``scripts/``) fall back to
+    their stem.
     """
     parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
     name = parts[-1]
@@ -138,6 +174,96 @@ def _display_path(path: str) -> str:
     return path if rel.startswith("..") else rel
 
 
+def profile_excludes_for(path: str) -> frozenset[str]:
+    """Rule ids disabled for ``path`` (the relaxed tests/scripts profile)."""
+    parts = os.path.normpath(path).split(os.sep)
+    if "tests" in parts or "scripts" in parts:
+        return RELAXED_PROFILE_EXCLUDES
+    return frozenset()
+
+
+def _split_rules(selected) -> tuple[list, list]:
+    """(per-file rules, project rules) from a resolved rule tuple."""
+    from repro.analysis.rules import ProjectRule
+
+    file_rules = [r for r in selected if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in selected if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def _scan_module(
+    source: str,
+    display: str,
+    module: str,
+    file_rule_ids: list[str],
+    known_packages: frozenset[str],
+    run_rules: bool = True,
+) -> dict:
+    """Pass-1 work unit for one file: per-file findings + model facts.
+
+    Module-level and dict-in/dict-out so it pickles cleanly across the
+    ``--jobs`` process pool.  ``findings`` is ``None`` when per-file
+    rules were skipped (``--diff`` mode on an unchanged, uncached file);
+    facts are always extracted so pass 2 sees the whole program.
+    """
+    from repro.analysis.rules import resolve_rules
+
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return {
+            "display": display,
+            "parse_error": str(exc),
+            "findings": None,
+            "suppressed": 0,
+            "facts": None,
+        }
+    suppressions = parse_suppressions(source)
+    facts = extract_module_facts(
+        tree,
+        display,
+        module,
+        is_package=os.path.basename(display) == "__init__.py",
+        noqa=suppressions.by_line,
+    )
+    result: dict = {
+        "display": display,
+        "parse_error": None,
+        "facts": facts.to_dict(),
+        "suppressed": 0,
+        "findings": None,
+    }
+    if not run_rules:
+        return result
+    ctx = ModuleContext(
+        path=display,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        known_packages=known_packages,
+    )
+    kept: list[dict] = []
+    suppressed = 0
+    raw: list[Finding] = []
+    if file_rule_ids:
+        for rule in resolve_rules(file_rule_ids):
+            raw.extend(rule.check(ctx))
+    for f in raw:
+        if suppressions.suppresses(f):
+            suppressed += 1
+        else:
+            kept.append(f.to_dict())
+    kept.sort(key=lambda d: (d["line"], d["col"], d["rule"]))
+    result["findings"] = kept
+    result["suppressed"] = suppressed
+    return result
+
+
+def _scan_module_star(args: tuple) -> dict:
+    return _scan_module(*args)
+
+
 def analyze_source(
     source: str,
     path: str = "<memory>",
@@ -149,72 +275,317 @@ def analyze_source(
 
     The fixture entry point used by ``tests/test_analysis.py``; returns
     (unsuppressed findings, suppression table with ``used`` filled in).
+    Project rules (RPR009+) run over a single-module model, so
+    intraprocedural instances of the interprocedural rules work here too.
     """
     from repro.analysis.rules import DEFAULT_KNOWN_PACKAGES, resolve_rules
 
+    mod_name = module if module is not None else module_name_for(path)
+    packages = (
+        known_packages if known_packages is not None else DEFAULT_KNOWN_PACKAGES
+    )
+    selected = resolve_rules(rules)
+    file_rules, project_rules = _split_rules(selected)
+
     tree = ast.parse(source, filename=path)
+    suppressions = parse_suppressions(source)
     ctx = ModuleContext(
         path=path,
-        module=module if module is not None else module_name_for(path),
+        module=mod_name,
         source=source,
         tree=tree,
-        suppressions=parse_suppressions(source),
-        known_packages=(
-            known_packages if known_packages is not None else DEFAULT_KNOWN_PACKAGES
-        ),
+        suppressions=suppressions,
+        known_packages=packages,
     )
     raw: list[Finding] = []
-    for rule in resolve_rules(rules):
+    for rule in file_rules:
         raw.extend(rule.check(ctx))
+    if project_rules:
+        facts = extract_module_facts(
+            tree,
+            path,
+            mod_name,
+            is_package=ctx.is_package,
+            noqa=suppressions.by_line,
+        )
+        model = ProjectModel([facts])
+        for rule in project_rules:
+            raw.extend(rule.check_project(model))
     kept: list[Finding] = []
     for f in raw:
-        if ctx.suppressions.suppresses(f):
-            ctx.suppressions.used += 1
+        if suppressions.suppresses(f):
+            suppressions.used += 1
         else:
             kept.append(f)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return kept, ctx.suppressions
+    return kept, suppressions
+
+
+def analyze_sources(
+    sources: dict[str, str],
+    rules: list[str] | None = None,
+    api_doc: str | None = None,
+    api_doc_path: str = "docs/api.md",
+    packages: frozenset[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Multi-module in-memory scan: the interprocedural fixture helper.
+
+    ``sources`` maps dotted module names to source text.  A module is
+    treated as a package when another key nests under it (or when named
+    in ``packages``).  Returns (findings, suppressed count); findings
+    from both passes, suppression-filtered per module.
+    """
+    from repro.analysis.rules import DEFAULT_KNOWN_PACKAGES, resolve_rules
+
+    selected = resolve_rules(rules)
+    file_rules, project_rules = _split_rules(selected)
+    inferred_packages = set(packages or ())
+    for module in sources:
+        for other in sources:
+            if other != module and other.startswith(module + "."):
+                inferred_packages.add(module)
+    known = DEFAULT_KNOWN_PACKAGES | frozenset(inferred_packages)
+
+    all_facts: list[ModuleFacts] = []
+    per_module_suppressions: dict[str, Suppressions] = {}
+    raw: list[Finding] = []
+    for module in sorted(sources):
+        source = sources[module]
+        is_pkg = module in inferred_packages
+        display = f"<memory:{module}>" if not is_pkg else f"<memory:{module}/__init__.py>"
+        tree = ast.parse(source, filename=display)
+        suppressions = parse_suppressions(source)
+        per_module_suppressions[display] = suppressions
+        ctx = ModuleContext(
+            path=display,
+            module=module,
+            source=source,
+            tree=tree,
+            suppressions=suppressions,
+            known_packages=known,
+        )
+        for rule in file_rules:
+            raw.extend(rule.check(ctx))
+        all_facts.append(
+            extract_module_facts(
+                tree, display, module, is_package=is_pkg,
+                noqa=suppressions.by_line,
+            )
+        )
+    model = ProjectModel(all_facts, api_doc=api_doc, api_doc_path=api_doc_path)
+    for rule in project_rules:
+        raw.extend(rule.check_project(model))
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in raw:
+        supp = per_module_suppressions.get(f.path)
+        if supp is not None and supp.suppresses(f):
+            suppressed += 1
+        else:
+            kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+def _locate_api_doc(paths: list[str]) -> tuple[str | None, str | None]:
+    """Find ``docs/api.md`` by walking up from the scan roots.
+
+    Returns (text, display path) or (None, None).  Walking up from the
+    *scan paths* — not the CWD — keeps fixture scans in temp dirs from
+    accidentally picking up the real repo's docs.
+    """
+    seen: set[str] = set()
+    for path in paths:
+        directory = os.path.abspath(path)
+        if os.path.isfile(directory):
+            directory = os.path.dirname(directory)
+        for _ in range(8):
+            candidate = os.path.join(directory, "docs", "api.md")
+            if candidate not in seen:
+                seen.add(candidate)
+                if os.path.isfile(candidate):
+                    text = _read_text_or_none(candidate)
+                    if text is not None:
+                        return text, _display_path(candidate)
+            parent = os.path.dirname(directory)
+            if parent == directory:
+                break
+            directory = parent
+    return None, None
+
+
+def _read_text_or_none(path: str) -> str | None:
+    """Read a UTF-8 file; a read failure degrades to 'no doc found'."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def _noqa_suppresses(noqa: dict[int, list[str]], finding: Finding) -> bool:
+    rules = noqa.get(finding.line)
+    if rules is None:
+        return False
+    return not rules or finding.rule.upper() in rules
 
 
 def analyze_paths(
     paths: list[str],
     rules: list[str] | None = None,
     baseline: set[tuple[str, str, str]] | None = None,
+    *,
+    jobs: int = 1,
+    cache_path: str | None = None,
+    changed_only: set[str] | None = None,
 ) -> Report:
     """Analyze files/directories and return a :class:`Report`.
 
     ``baseline`` is a set of :meth:`Finding.baseline_key` tuples to
     filter out (see :func:`load_baseline`); matches are counted in
     ``report.baselined`` rather than silently dropped.
+
+    ``jobs > 1`` fans pass 1 out over a process pool; ``cache_path``
+    enables the content-hash cache; ``changed_only`` (absolute paths)
+    restricts *per-file* findings to those files while still extracting
+    facts everywhere so pass 2 stays whole-program.
     """
     from repro.analysis.rules import resolve_rules
 
     t0 = time.perf_counter()
     selected = resolve_rules(rules)
+    file_rules, project_rules = _split_rules(selected)
     files = iter_python_files(paths)
     packages = known_packages_for(files)
     report = Report(rules=tuple(r.id for r in selected), files=len(files))
+    cache = AnalysisCache(cache_path) if cache_path else None
+
+    ordered: list[dict] = []  # one result per file, scan order
+    pending: list[tuple[int, tuple]] = []  # (slot, _scan_module args)
     for filepath in files:
         display = _display_path(filepath)
+        slot = len(ordered)
+        ordered.append({})  # placeholder
         try:
-            with open(filepath, "r", encoding="utf-8") as fh:
-                source = fh.read()
-            findings, supp = analyze_source(
-                source,
-                path=display,
-                module=module_name_for(filepath),
-                rules=rules,
-                known_packages=packages,
-            )
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            report.parse_errors.append(f"{display}: {exc}")
+            with open(filepath, "rb") as fh:
+                raw_bytes = fh.read()
+        except OSError as exc:
+            ordered[slot] = {
+                "display": display,
+                "parse_error": str(exc),
+                "findings": None,
+                "suppressed": 0,
+                "facts": None,
+            }
             continue
-        report.suppressed += supp.used
-        for f in findings:
-            if baseline and f.baseline_key() in baseline:
-                report.baselined += 1
-            else:
-                report.findings.append(f)
+        excludes = profile_excludes_for(display)
+        effective_ids = [r.id for r in file_rules if r.id not in excludes]
+        signature = ruleset_signature(tuple(effective_ids) + ("+".join(sorted(r.id for r in project_rules)),))
+        digest = content_hash(raw_bytes)
+        changed = changed_only is None or os.path.abspath(filepath) in changed_only
+        entry = cache.get(display, digest, signature) if cache else None
+        if entry is not None and (entry.get("findings") is not None or not changed):
+            ordered[slot] = {
+                "display": display,
+                "parse_error": entry.get("parse_error"),
+                "findings": entry.get("findings"),
+                "suppressed": entry.get("suppressed", 0),
+                "facts": entry.get("facts"),
+                "from_cache": True,
+            }
+            continue
+        try:
+            source = raw_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            ordered[slot] = {
+                "display": display,
+                "parse_error": str(exc),
+                "findings": None,
+                "suppressed": 0,
+                "facts": None,
+            }
+            continue
+        pending.append(
+            (
+                slot,
+                (source, display, module_name_for(filepath), effective_ids,
+                 packages, changed),
+            )
+        )
+        ordered[slot]["_cache_key"] = (display, digest, signature)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                results = list(
+                    pool.map(
+                        _scan_module_star,
+                        [args for _, args in pending],
+                        chunksize=max(1, len(pending) // (4 * jobs) or 1),
+                    )
+                )
+        else:
+            results = [_scan_module_star(args) for _, args in pending]
+        for (slot, _args), result in zip(pending, results):
+            cache_key = ordered[slot].get("_cache_key")
+            ordered[slot] = result
+            if cache is not None and cache_key is not None:
+                display, digest, signature = cache_key
+                cache.put(
+                    display,
+                    digest,
+                    signature,
+                    {
+                        "parse_error": result["parse_error"],
+                        "findings": result["findings"],
+                        "suppressed": result["suppressed"],
+                        "facts": result["facts"],
+                    },
+                )
+
+    all_facts: list[ModuleFacts] = []
+    noqa_by_path: dict[str, dict[int, list[str]]] = {}
+    for result in ordered:
+        if result.get("parse_error"):
+            report.parse_errors.append(f"{result['display']}: {result['parse_error']}")
+            continue
+        if result.get("from_cache"):
+            report.cached += 1
+        facts_dict = result.get("facts")
+        if facts_dict is not None:
+            facts = ModuleFacts.from_dict(facts_dict)
+            all_facts.append(facts)
+            noqa_by_path[facts.path] = facts.noqa
+        findings = result.get("findings")
+        if findings is not None:
+            report.suppressed += result.get("suppressed", 0)
+            for d in findings:
+                f = Finding(**d)
+                if baseline and f.baseline_key() in baseline:
+                    report.baselined += 1
+                else:
+                    report.findings.append(f)
+
+    if project_rules:
+        api_doc, api_doc_path = _locate_api_doc(paths)
+        model = ProjectModel(all_facts, api_doc=api_doc, api_doc_path=api_doc_path)
+        for rule in project_rules:
+            for f in rule.check_project(model):
+                noqa = noqa_by_path.get(f.path)
+                if noqa is not None and _noqa_suppresses(noqa, f):
+                    report.suppressed += 1
+                elif baseline and f.baseline_key() in baseline:
+                    report.baselined += 1
+                else:
+                    report.findings.append(f)
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if cache is not None:
+        cache.save()
     report.elapsed_ms = (time.perf_counter() - t0) * 1e3
     _record_obs(report)
     return report
@@ -230,6 +601,7 @@ def _record_obs(report: Report) -> None:
         obs.inc("analysis.scans")
         obs.inc("analysis.files", report.files)
         obs.inc("analysis.findings", len(report.findings))
+        obs.inc("analysis.cached", report.cached)
         obs.observe("analysis.scan_ms", report.elapsed_ms)
 
 

@@ -20,9 +20,17 @@ def render_text(report: Report, *, verbose: bool = False) -> str:
     for f in report.findings:
         lines.append(f"{f.location}: {f.severity}: {f.rule} {f.message}")
     for err in report.parse_errors:
-        lines.append(f"{err}: error: parse failure")
+        lines.append(f"parse-error: {err}")
     by_rule = report.counts_by_rule()
-    if report.findings or report.parse_errors:
+    if report.parse_errors:
+        # A file the analyzer could not parse means the gate never ran
+        # over it — rendered apart from findings, and exit code 2.
+        lines.append(
+            f"ERROR: {len(report.parse_errors)} file(s) could not be "
+            f"parsed — the gate did not run over them (exit 2); "
+            f"{len(report.findings)} finding(s) on the rest"
+        )
+    elif report.findings:
         breakdown = ", ".join(f"{k}={v}" for k, v in sorted(by_rule.items()))
         lines.append(
             f"FAIL: {len(report.findings)} finding(s) "
@@ -37,7 +45,8 @@ def render_text(report: Report, *, verbose: bool = False) -> str:
     if report.suppressed or report.baselined or verbose:
         lines.append(
             f"   ({report.suppressed} suppressed by noqa, "
-            f"{report.baselined} filtered by baseline)"
+            f"{report.baselined} filtered by baseline, "
+            f"{report.cached}/{report.files} file(s) from cache)"
         )
     return "\n".join(lines)
 
@@ -48,8 +57,10 @@ def report_payload(report: Report) -> dict[str, Any]:
         "schema": JSON_SCHEMA_ID,
         "generated": _dt.datetime.now(_dt.timezone.utc).isoformat(),
         "files": report.files,
+        "cached": report.cached,
         "rules": list(report.rules),
         "elapsed_ms": round(report.elapsed_ms, 3),
+        "exit_code": report.exit_code,
         "counts": {
             "total": len(report.findings),
             "suppressed": report.suppressed,

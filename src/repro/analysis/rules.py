@@ -1,4 +1,4 @@
-"""The project-native rule catalog (RPR001–RPR007).
+"""The project-native rule catalog (RPR001–RPR012).
 
 Each rule is a small AST walker over a shared :class:`ModuleContext`.
 The rules encode *this repo's* correctness conventions — the invariants
@@ -15,6 +15,16 @@ RPR007  engine sink discipline (no ad-hoc ``open()`` writes in repro.engine)
 RPR008  storage accessor discipline (no direct ``.indptr``/``.indices``
         outside repro.storage / repro.sparsela and the sanctioned plumbing)
 
+Interprocedural rules (pass 2, over the whole-program model built by
+``analysis/model.py`` — see docs/analysis.md §"whole-program pass"):
+
+RPR009  resource-lifecycle discipline (shm / mmap / ObsServer releases)
+RPR010  worker-boundary purity (no shared-state writes reachable from
+        executor dispatch)
+RPR011  interprocedural dtype propagation (reductions over provably
+        narrow helper returns)
+RPR012  public-API surface drift (``__all__`` vs ``docs/api.md``)
+
 See ``docs/analysis.md`` for the full rationale, the paper references,
 and the list of true positives each rule caught when first run.
 """
@@ -25,16 +35,20 @@ import ast
 import re
 from typing import Iterable, Iterator
 
+from repro.analysis import summaries
 from repro.analysis.engine import ModuleContext
 from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "RULES",
     "ALL_RULE_IDS",
     "resolve_rules",
     "DEFAULT_KNOWN_PACKAGES",
     "DEPRECATION_SHIM_MODULES",
+    "WORKER_OBS_SANCTIONED",
 ]
 
 #: Fallback package set for in-memory fixture scans (tests); directory
@@ -957,6 +971,296 @@ class StorageAccessorDisciplineRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# interprocedural rules (RPR009–RPR012) — pass 2 over the project model
+# ----------------------------------------------------------------------
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-program :class:`ProjectModel`.
+
+    Project rules implement :meth:`check_project` instead of
+    :meth:`check`; the engine runs them once per scan, after every file
+    has contributed its facts, and routes their findings through the
+    same per-file ``noqa`` tables as per-file rules.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ResourceLifecycleRule(ProjectRule):
+    """RPR009 — tracked resources must be released on every path.
+
+    Acquisitions of ``SharedMemory`` / ``SharedGraphBuffers.publish`` /
+    mmap handles / ``ObsServer`` must be one of: a ``with`` item,
+    released inside ``try/finally`` (or an ``except`` that re-raises),
+    registered with ``weakref.finalize``/``atexit.register``, or
+    transferred out of the function (returned, stored into a container,
+    passed on).  Functions that *return* an unreleased resource pass the
+    obligation to their callers: every call site of such an acquirer is
+    itself an acquisition site, transitively (summaries.py).  The check
+    is path-insensitive: a straight-line ``x.close()`` with no
+    ``finally`` still leaks on the exception path and is flagged.
+    """
+
+    id = "RPR009"
+    title = "resource acquired without release discipline"
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        acquirers = summaries.acquirer_functions(model)
+        for fid, (mod, fn) in model.functions.items():
+            seen: set[tuple[int, int]] = set()
+            for acq in fn.acquisitions:
+                seen.add((acq.line, acq.col))
+                if acq.protection == "none":
+                    yield self.project_finding(
+                        mod.path, acq.line, acq.col,
+                        f"{acq.kind} acquired by {acq.callee}(...) has no "
+                        "release on error paths; bind it in a `with`, "
+                        "release in `try/finally`, or register a "
+                        "finalizer (weakref.finalize/atexit.register)",
+                    )
+            for call in fn.calls:
+                if (call.line, call.col) in seen:
+                    continue
+                target = model.resolve_call(mod, fn, call.callee)
+                if target is None or target not in acquirers or target == fid:
+                    continue
+                if call.protection == "none":
+                    yield self.project_finding(
+                        mod.path, call.line, call.col,
+                        f"call to {call.callee}(...) returns an unreleased "
+                        f"{acquirers[target]}; the caller owns the release "
+                        "— use `with`, `try/finally`, or a registered "
+                        "finalizer",
+                    )
+
+
+#: Function ids allowed to touch obs/registry global state from worker
+#: context: the delta-window machinery itself.  ``_collect_begin``'s
+#: reset+enable at task start is what *creates* the sanctioned
+#: metric/trace/profile delta keys, and the obs primitives it calls
+#: (``enable``/``reset``/``disable``, plus the worker-side profiler
+#: resume) necessarily rebind the obs registry globals — that is their
+#: entire job.  Anything else reachable from dispatch that touches
+#: module state gets flagged and needs an explicit, documented
+#: ``# repro: noqa[RPR010]`` pragma (docs/analysis.md keeps the list).
+WORKER_OBS_SANCTIONED: frozenset[str] = frozenset(
+    {
+        "repro.parallel.executor:_collect_begin",
+        "repro.parallel.executor:_collect_end",
+        "repro.obs:enable",
+        "repro.obs:disable",
+        "repro.obs:reset",
+        "repro.obs.profile:maybe_resume_worker",
+    }
+)
+
+#: Callees whose results are shm-attached array bundles; mutating
+#: through names bound from these is a worker-side write into shared
+#: graph structure.
+_ATTACHMENT_PROVIDERS = frozenset({"attach_graph", "_attached", "_strategy_state"})
+
+
+class WorkerPurityRule(ProjectRule):
+    """RPR010 — functions reachable from pool dispatch stay pure.
+
+    Roots are detected structurally: any function whose *name* is the
+    first argument of an ``<executor>.map(fn, ...)`` / ``.submit(fn,
+    ...)`` call.  Everything reachable from a root over the conservative
+    call graph runs in a worker process, where module-global writes are
+    silently per-worker (lost on the owner side), mutation of
+    shm-attached arrays corrupts the shared graph for sibling tasks, and
+    obs state resets outside the delta-window machinery destroy the
+    owner's metrics merge.  Unresolvable dynamic calls contribute no
+    edges, so this rule under-approximates reach rather than inventing
+    false positives.
+    """
+
+    id = "RPR010"
+    title = "worker-reachable function mutates shared state"
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        roots = model.dispatch_roots()
+        if not roots:
+            return
+        reachable = model.reachable(roots)
+        for fid in sorted(reachable):
+            if fid in WORKER_OBS_SANCTIONED:
+                continue  # the delta-window machinery itself
+            mod, fn = model.functions[fid]
+            local = set(fn.local_names)
+            for store in fn.stores:
+                if store.kind == "imported":
+                    yield self.project_finding(
+                        mod.path, store.line, store.col,
+                        f"'{fn.qualname}' is reachable from executor "
+                        f"dispatch and monkeypatches imported module "
+                        f"'{store.target}'; worker-side patches leak "
+                        "across tasks in a pooled process",
+                    )
+                    continue
+                if store.kind == "global":
+                    yield self.project_finding(
+                        mod.path, store.line, store.col,
+                        f"'{fn.qualname}' is reachable from executor "
+                        f"dispatch and rebinds module global "
+                        f"'{store.target}'; worker-side globals are "
+                        "per-process and silently diverge from the owner",
+                    )
+                    continue
+                attached_via = fn.assigned_from.get(store.target)
+                if (
+                    attached_via is not None
+                    and attached_via.split(".")[-1] in _ATTACHMENT_PROVIDERS
+                ):
+                    yield self.project_finding(
+                        mod.path, store.line, store.col,
+                        f"'{fn.qualname}' is reachable from executor "
+                        f"dispatch and writes into '{store.target}', an "
+                        f"shm-attached bundle from {attached_via}(...); "
+                        "attached graph arrays are shared read-only "
+                        "across sibling tasks",
+                    )
+                    continue
+                if store.target in local:
+                    continue
+                if store.target in mod.symbols or store.target in mod.imports:
+                    what = (
+                        "module-level object"
+                        if store.target in mod.symbols
+                        else "imported module/object"
+                    )
+                    yield self.project_finding(
+                        mod.path, store.line, store.col,
+                        f"'{fn.qualname}' is reachable from executor "
+                        f"dispatch and mutates {what} '{store.target}' "
+                        f"({store.kind} store); worker-side state must "
+                        "flow back through task results",
+                    )
+            for call in fn.obs_state_calls:
+                yield self.project_finding(
+                    mod.path, call.line, call.col,
+                    f"'{fn.qualname}' is reachable from executor dispatch "
+                    f"and calls {call.callee}(); obs state in workers is "
+                    "owned by the _collect_begin/_collect_end delta "
+                    "window — route metrics through the worker delta",
+                )
+
+
+class InterprocDtypeRule(ProjectRule):
+    """RPR011 — reductions over provably-narrow helper returns.
+
+    RPR002 demands an in-scope *proof of wide* at each reduction inside
+    the counting layers; it goes blind the moment the operand crosses a
+    function boundary.  This rule closes that gap repo-wide in the other
+    direction: per-function return-dtype summaries (wide / narrow /
+    preserves / unknown, propagated to fixpoint over call edges) flag a
+    ``sum``/``cumsum`` without ``dtype=``/``out=`` whose operand comes
+    from a function *proved* to return a narrow array.  Unknown stays
+    silent — only proved-narrow fires — so the rule adds no noise
+    outside genuine int32 escapes (Wang et al. 1812.00283 is why those
+    overflow on real graphs).
+    """
+
+    id = "RPR011"
+    title = "reduction over a provably narrow interprocedural result"
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        dtypes = summaries.dtype_summaries(model)
+        for fid, (mod, fn) in model.functions.items():
+            for red in fn.reductions:
+                target = model.resolve_call(mod, fn, red.callee)
+                if target is None:
+                    continue
+                if dtypes.get(target) == summaries.NARROW:
+                    yield self.project_finding(
+                        mod.path, red.line, red.col,
+                        f"{red.spelled} without dtype= over the result of "
+                        f"{red.callee}(...), which provably returns a "
+                        "narrow integer array; accumulate in COUNT_DTYPE "
+                        "(int64) or widen the helper's return",
+                    )
+
+
+class ApiSurfaceDriftRule(ProjectRule):
+    """RPR012 — ``__all__`` exports and ``docs/api.md`` stay in sync.
+
+    Three checks: (a) every name a ``repro`` package exports via a
+    literal ``__all__`` appears in ``docs/api.md``; (b) every
+    ``## repro.<pkg>`` section header in the doc names a module that
+    actually exists; (c) deprecation shims (the documented
+    ``DEPRECATION_SHIM_MODULES`` list) still bind every name in their
+    ``__all__`` — a shim that drops a name breaks the documented
+    signature silently.  Doc checks are skipped when the scan has no
+    ``docs/api.md`` next to it (fixture scans).
+    """
+
+    id = "RPR012"
+    title = "public API surface drifted from docs/api.md"
+
+    _HEADER_RE = re.compile(r"^##\s+(repro(?:\.\w+)*)\s*$", re.MULTILINE)
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        doc = model.api_doc
+        doc_words: set[str] | None = None
+        if doc is not None:
+            doc_words = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", doc))
+        for module in sorted(model.modules):
+            mod = model.modules[module]
+            if not module.startswith("repro"):
+                continue
+            exports = mod.exports
+            if exports is None:
+                continue
+            if mod.is_package and doc_words is not None:
+                missing = [n for n in exports if n not in doc_words]
+                for name in missing:
+                    yield self.project_finding(
+                        mod.path, 1, 0,
+                        f"'{module}' exports '{name}' in __all__ but "
+                        "docs/api.md never mentions it; document the "
+                        "symbol or stop exporting it",
+                    )
+            if module in DEPRECATION_SHIM_MODULES:
+                bound = set(mod.symbols) | set(mod.imports)
+                for name in exports:
+                    if name not in bound:
+                        yield self.project_finding(
+                            mod.path, 1, 0,
+                            f"deprecation shim '{module}' lists '{name}' "
+                            "in __all__ but no longer binds it; shims "
+                            "must keep their documented surface",
+                        )
+        # reverse direction: headers in the doc must name real modules
+        if doc is not None and "repro" in model.modules:
+            doc_path = model.api_doc_path or "docs/api.md"
+            for match in self._HEADER_RE.finditer(doc):
+                module = match.group(1)
+                if module not in model.modules:
+                    line = doc[: match.start()].count("\n") + 1
+                    yield self.project_finding(
+                        doc_path, line, 0,
+                        f"docs/api.md documents '{module}' but no such "
+                        "module exists in the project",
+                    )
+
+
 #: Rule registry in catalog order.
 RULES: tuple[Rule, ...] = (
     PrivateImportRule(),
@@ -967,6 +1271,10 @@ RULES: tuple[Rule, ...] = (
     ExceptionDisciplineRule(),
     EngineSinkDisciplineRule(),
     StorageAccessorDisciplineRule(),
+    ResourceLifecycleRule(),
+    WorkerPurityRule(),
+    InterprocDtypeRule(),
+    ApiSurfaceDriftRule(),
 )
 
 ALL_RULE_IDS: tuple[str, ...] = tuple(r.id for r in RULES)

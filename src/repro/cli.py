@@ -51,6 +51,7 @@ runners).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench import Sweep, time_callable
@@ -459,15 +460,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser(
         "analyze",
-        help="run the project-native static analyzer (rules RPR001-RPR008)",
+        help="run the project-native static analyzer (rules RPR001-RPR012)",
     )
     p_an.add_argument(
         "paths", nargs="*", default=["src/repro"], metavar="PATH",
         help="files or directories to scan (default: src/repro)",
     )
     p_an.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json follows schema repro.analysis.report/v1)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (json follows schema repro.analysis.report/v1; "
+        "sarif is SARIF 2.1.0)",
+    )
+    p_an.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse/scan N files in parallel (default: 1)",
+    )
+    p_an.add_argument(
+        "--cache", default=None, metavar="PATH", dest="cache_path",
+        help="content-hash result cache for warm runs "
+        "(e.g. results/analysis_cache.json)",
+    )
+    p_an.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache and rescan everything",
+    )
+    p_an.add_argument(
+        "--diff", default=None, metavar="REV",
+        help="report findings only for files changed since git REV "
+        "(plus untracked); the whole-program model still covers "
+        "every scanned file",
     )
     p_an.add_argument(
         "--rules", default=None, metavar="IDS",
@@ -961,6 +982,30 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _changed_files_since(rev: str) -> set[str]:
+    """Absolute paths changed since git ``rev``, plus untracked files.
+
+    The set feeds ``analyze --diff``: only these files get *reported*
+    per-file findings, while the whole-program model still covers every
+    scanned file (interprocedural rules stay sound on partial scans).
+    """
+    import subprocess
+
+    out: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", rev],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=True
+        )
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                out.add(os.path.abspath(line))
+    return out
+
+
 def _cmd_analyze(args) -> int:
     """``repro-butterfly analyze`` — the domain lint gate (docs/analysis.md)."""
     import json as _json
@@ -973,8 +1018,18 @@ def _cmd_analyze(args) -> int:
     baseline = None
     if args.baseline:
         baseline = analysis.load_baseline(args.baseline)
-    report = analysis.analyze_paths(list(args.paths), rules=rules,
-                                    baseline=baseline)
+    changed_only = None
+    if args.diff:
+        changed_only = _changed_files_since(args.diff)
+    cache_path = None if args.no_cache else args.cache_path
+    report = analysis.analyze_paths(
+        list(args.paths),
+        rules=rules,
+        baseline=baseline,
+        jobs=max(1, args.jobs),
+        cache_path=cache_path,
+        changed_only=changed_only,
+    )
     if args.write_baseline:
         with open(args.write_baseline, "w", encoding="utf-8") as fh:
             _json.dump(analysis.baseline_payload(report), fh, indent=2)
@@ -984,11 +1039,12 @@ def _cmd_analyze(args) -> int:
             f"to {args.write_baseline}"
         )
         return 0
-    rendered = (
-        analysis.render_json(report)
-        if args.format == "json"
-        else analysis.render_text(report)
-    )
+    if args.format == "json":
+        rendered = analysis.render_json(report)
+    elif args.format == "sarif":
+        rendered = analysis.render_sarif(report)
+    else:
+        rendered = analysis.render_text(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(rendered)

@@ -468,6 +468,10 @@ def test_all_rule_ids_catalogued():
         "RPR006",
         "RPR007",
         "RPR008",
+        "RPR009",
+        "RPR010",
+        "RPR011",
+        "RPR012",
     )
 
 
@@ -510,8 +514,10 @@ def test_json_schema(dirty_tree: Path):
         "schema",
         "generated",
         "files",
+        "cached",
         "rules",
         "elapsed_ms",
+        "exit_code",
         "counts",
         "findings",
         "parse_errors",
@@ -533,12 +539,24 @@ def test_baseline_roundtrip(dirty_tree: Path, tmp_path: Path):
 
 
 def test_parse_error_reported(tmp_path: Path):
+    """A file the gate could not parse is exit 2, rendered apart."""
     bad = tmp_path / "broken.py"
     bad.write_text("def f(:\n")
     report = analysis.analyze_paths([str(bad)])
     assert report.findings == []
     assert len(report.parse_errors) == 1
-    assert report.exit_code == 1
+    assert report.exit_code == 2
+    rendered = analysis.render_text(report)
+    assert "parse-error:" in rendered
+    assert "ERROR:" in rendered
+    assert "FAIL" not in rendered
+
+
+def test_parse_error_outranks_findings(dirty_tree: Path, tmp_path: Path):
+    (dirty_tree / "repro" / "core" / "broken.py").write_text("def f(:\n")
+    report = analysis.analyze_paths([str(dirty_tree)])
+    assert report.findings  # the parseable files still produced findings
+    assert report.exit_code == 2
 
 
 def test_render_text_ok_and_fail(dirty_tree: Path):
@@ -568,7 +586,24 @@ def test_self_scan_pragma_count_pinned():
     updating this number *and* that list in the same change.
     """
     report = analysis.analyze_paths([str(SRC_REPRO)])
-    assert report.suppressed == 7
+    assert report.suppressed == 10
+
+
+def test_repo_scan_clean_with_relaxed_roots():
+    """tests/ and scripts/ are in scope (relaxed profile) and clean.
+
+    The three extra suppressions over the src/repro pin are the
+    white-box-import noqas in the test suite (docs/analysis.md).
+    """
+    repo = SRC_REPRO.parent.parent
+    roots = [str(SRC_REPRO)] + [
+        str(repo / d) for d in ("tests", "scripts") if (repo / d).is_dir()
+    ]
+    report = analysis.analyze_paths(roots)
+    rendered = analysis.render_text(report)
+    assert report.findings == [], f"analyzer findings:\n{rendered}"
+    assert report.parse_errors == []
+    assert report.suppressed == 13
 
 
 # ----------------------------------------------------------------------

@@ -100,9 +100,12 @@ class TestSharedGraphBuffers:
 
     def test_unlink_is_idempotent(self, medium_graph):
         buffers = SharedGraphBuffers.publish(medium_graph)
-        buffers.unlink()
-        buffers.unlink()  # must not raise
-        assert buffers.name not in live_segment_names()
+        try:
+            buffers.unlink()
+            buffers.unlink()  # must not raise
+            assert buffers.name not in live_segment_names()
+        finally:
+            buffers.unlink()  # idempotent, so safe on every path
 
     def test_exception_inside_context_still_unlinks(self, medium_graph):
         with pytest.raises(RuntimeError):

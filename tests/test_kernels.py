@@ -209,7 +209,7 @@ def test_panel_choose2_scratch_buffer_reuse_and_rezero():
 
 
 def test_panel_auto_dispatch_respects_keyspace_cap():
-    from repro.sparsela.kernels import _resolve_panel_method
+    from repro.sparsela.kernels import _resolve_panel_method  # repro: noqa[RPR001] white-box test of the private dispatch heuristic
 
     # tiny key space, plenty of items -> dense histogram
     assert _resolve_panel_method("auto", 4, 100, 5000, 1 << 22) == "bincount"

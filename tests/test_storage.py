@@ -323,7 +323,7 @@ def _write_band_columns(directory: str, n: int) -> int:
     """
     import json
 
-    from repro._types import INDEX_DTYPE
+    from repro._types import INDEX_DTYPE  # repro: noqa[RPR001] white-box: dtype constant is not re-exported publicly
 
     os.makedirs(directory, exist_ok=True)
     itemsize = np.dtype(INDEX_DTYPE).itemsize

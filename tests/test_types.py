@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro._types import COUNT_DTYPE, INDEX_DTYPE, as_index_array
+from repro._types import COUNT_DTYPE, INDEX_DTYPE, as_index_array  # repro: noqa[RPR001] unit tests target the private module itself
 
 
 def test_index_dtype_is_int64():
